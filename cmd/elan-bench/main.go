@@ -1,0 +1,56 @@
+// Command elan-bench regenerates the paper's tables and figures by id.
+//
+// Usage:
+//
+//	elan-bench -exp fig15          # one experiment
+//	elan-bench -exp all            # the full evaluation
+//	elan-bench -list               # list experiment ids
+//	elan-bench -exp fig20 -quick   # short trace for a fast run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/elan-sys/elan/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	list := flag.Bool("list", false, "list experiment ids")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	flag.Parse()
+	if err := run(*exp, *list, *quick, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elan-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, list, quick bool, w io.Writer) error {
+	if list {
+		fmt.Fprintln(w, strings.Join(experiment.IDs(), "\n"))
+		return nil
+	}
+	if exp == "" {
+		return fmt.Errorf("missing -exp (use -list to see ids)")
+	}
+	if exp == "all" {
+		for _, id := range experiment.IDs() {
+			fmt.Fprintf(w, "\n### %s ###\n", id)
+			if err := experiment.Run(id, w, quick); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	if err := experiment.Run(exp, w, quick); err != nil {
+		if strings.Contains(err.Error(), "unknown id") {
+			return fmt.Errorf("unknown experiment %q (use -list)", exp)
+		}
+		return err
+	}
+	return nil
+}

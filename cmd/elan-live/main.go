@@ -1,0 +1,161 @@
+// Command elan-live runs real elastic training on the pure-Go substrate
+// from the command line: it trains an MLP with data-parallel worker
+// goroutines and executes a schedule of elastic adjustments, printing
+// loss/accuracy and verifying the data-parallel invariant after every
+// adjustment.
+//
+// Usage:
+//
+//	elan-live -workers 2 -tbs 64 -iters 600 -schedule "200:out2,400:batch128"
+//
+// Schedule entries are iteration:action with actions out<N> (scale out by
+// N), in<N> (scale in by N), batch<B> (set total batch to B with the
+// progressive LR ramp).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	elan "github.com/elan-sys/elan"
+)
+
+type action struct {
+	iter int
+	verb string // out | in | batch
+	arg  int
+}
+
+func parseSchedule(s string) ([]action, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []action
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad schedule entry %q (want iter:action)", part)
+		}
+		iter, err := strconv.Atoi(bits[0])
+		if err != nil || iter < 0 {
+			return nil, fmt.Errorf("bad iteration in %q", part)
+		}
+		act := bits[1]
+		var verb string
+		switch {
+		case strings.HasPrefix(act, "out"):
+			verb = "out"
+			act = act[3:]
+		case strings.HasPrefix(act, "in"):
+			verb = "in"
+			act = act[2:]
+		case strings.HasPrefix(act, "batch"):
+			verb = "batch"
+			act = act[5:]
+		default:
+			return nil, fmt.Errorf("unknown action in %q", part)
+		}
+		arg, err := strconv.Atoi(act)
+		if err != nil || arg <= 0 {
+			return nil, fmt.Errorf("bad argument in %q", part)
+		}
+		out = append(out, action{iter: iter, verb: verb, arg: arg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].iter < out[j].iter })
+	return out, nil
+}
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 2, "initial worker count")
+		tbs      = flag.Int("tbs", 64, "initial total batch size")
+		iters    = flag.Int("iters", 600, "training iterations")
+		lr       = flag.Float64("lr", 0.02, "initial learning rate")
+		seed     = flag.Int64("seed", 7, "run seed")
+		schedule = flag.String("schedule", "", "adjustments, e.g. 200:out2,400:batch128")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *workers, *tbs, *iters, *lr, *seed, *schedule); err != nil {
+		fmt.Fprintln(os.Stderr, "elan-live:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, workers, tbs, iters int, lr float64, seed int64, schedule string) error {
+	actions, err := parseSchedule(schedule)
+	if err != nil {
+		return err
+	}
+	const features, classes = 16, 8
+	train, err := elan.GenDataset(seed, 8192, features, classes)
+	if err != nil {
+		return err
+	}
+	test, err := elan.GenDataset(seed+1, 2048, features, classes)
+	if err != nil {
+		return err
+	}
+	job, err := elan.NewLiveJob(elan.LiveConfig{
+		Dataset:    train,
+		LayerSizes: []int{features, 32, classes},
+		Workers:    workers,
+		TotalBatch: tbs,
+		LR:         lr,
+		Momentum:   0.9,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer job.Close()
+
+	next := 0
+	report := func(tag string) error {
+		loss, acc, err := job.Evaluate(test)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s iter %5d workers %2d tbs %5d lr %.4f loss %.3f acc %5.1f%% consistent=%v\n",
+			tag, job.Iteration(), job.NumWorkers(), job.TotalBatch(), job.LR(),
+			loss, 100*acc, job.ReplicasConsistent())
+		return nil
+	}
+	if err := report("start"); err != nil {
+		return err
+	}
+	for i := 0; i < iters; i++ {
+		for next < len(actions) && actions[next].iter <= i {
+			a := actions[next]
+			next++
+			var aerr error
+			switch a.verb {
+			case "out":
+				aerr = job.ScaleOut(a.arg)
+			case "in":
+				aerr = job.ScaleIn(a.arg)
+			case "batch":
+				aerr = job.SetTotalBatch(a.arg, 40, true)
+			}
+			if aerr != nil {
+				return fmt.Errorf("iteration %d action %s%d: %w", i, a.verb, a.arg, aerr)
+			}
+			if err := report(fmt.Sprintf("after %s%d", a.verb, a.arg)); err != nil {
+				return err
+			}
+		}
+		if _, err := job.Step(); err != nil {
+			return err
+		}
+		if (i+1)%200 == 0 {
+			if err := report("progress"); err != nil {
+				return err
+			}
+		}
+	}
+	return report("final")
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSchedule(t *testing.T) {
+	actions, err := parseSchedule("200:out2, 400:batch128,100:in1")
+	if err != nil {
+		t.Fatalf("parseSchedule: %v", err)
+	}
+	if len(actions) != 3 {
+		t.Fatalf("actions = %d", len(actions))
+	}
+	// Sorted by iteration.
+	if actions[0].iter != 100 || actions[0].verb != "in" || actions[0].arg != 1 {
+		t.Fatalf("actions[0] = %+v", actions[0])
+	}
+	if actions[2].verb != "batch" || actions[2].arg != 128 {
+		t.Fatalf("actions[2] = %+v", actions[2])
+	}
+	if got, err := parseSchedule(""); err != nil || got != nil {
+		t.Fatalf("empty schedule = %v, %v", got, err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, bad := range []string{"nocolon", "x:out2", "5:fly3", "5:out", "5:outx", "-1:out2", "5:out0"} {
+		if _, err := parseSchedule(bad); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+}
+
+func TestRunWithSchedule(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 2, 64, 120, 0.02, 7, "40:out2,80:batch128"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"after out2", "after batch128", "final", "consistent=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "consistent=false") {
+		t.Fatal("replica consistency violated")
+	}
+}
+
+func TestRunBadAction(t *testing.T) {
+	var b strings.Builder
+	// Scale in below 1 worker fails at execution time.
+	if err := run(&b, 2, 64, 50, 0.02, 7, "10:in2"); err == nil {
+		t.Fatal("impossible scale-in accepted")
+	}
+}
+
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("200:out2,400:batch128")
+	f.Add("1:in1")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, s string) {
+		actions, err := parseSchedule(s)
+		if err != nil {
+			return
+		}
+		// Accepted schedules are sorted with positive arguments.
+		for i, a := range actions {
+			if a.arg <= 0 || a.iter < 0 {
+				t.Fatalf("invalid accepted action %+v", a)
+			}
+			if i > 0 && actions[i-1].iter > a.iter {
+				t.Fatal("schedule not sorted")
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Command elan-report runs the full evaluation and writes a browsable
+// report directory: one text file per experiment plus an index, suitable
+// for attaching to a reproduction artifact.
+//
+// Usage:
+//
+//	elan-report -out report/          # full run
+//	elan-report -out report/ -quick   # shrunken workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/elan-sys/elan/internal/experiment"
+)
+
+func main() {
+	out := flag.String("out", "report", "output directory")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	flag.Parse()
+	if err := run(*out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "elan-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, quick bool) error {
+	if outDir == "" {
+		return fmt.Errorf("empty output directory")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", outDir, err)
+	}
+	var index strings.Builder
+	index.WriteString("# Elan reproduction report\n\n")
+	fmt.Fprintf(&index, "Mode: quick=%v\n\n", quick)
+	index.WriteString("| Experiment | Status | Duration | File |\n|---|---|---|---|\n")
+	for _, id := range experiment.IDs() {
+		path := filepath.Join(outDir, id+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		start := time.Now()
+		runErr := experiment.Run(id, f, quick)
+		dur := time.Since(start).Round(time.Millisecond)
+		if cerr := f.Close(); cerr != nil && runErr == nil {
+			runErr = cerr
+		}
+		status := "ok"
+		if runErr != nil {
+			status = "FAILED: " + runErr.Error()
+		}
+		fmt.Fprintf(&index, "| %s | %s | %v | [%s.txt](./%s.txt) |\n", id, status, dur, id, id)
+		if runErr != nil {
+			// Keep going so the index records every failure, then report.
+			defer func(id string, err error) {
+				fmt.Fprintf(os.Stderr, "elan-report: %s failed: %v\n", id, err)
+			}(id, runErr)
+		}
+	}
+	indexPath := filepath.Join(outDir, "README.md")
+	if err := os.WriteFile(indexPath, []byte(index.String()), 0o644); err != nil {
+		return fmt.Errorf("write index: %w", err)
+	}
+	fmt.Printf("report written to %s (%d experiments)\n", outDir, len(experiment.IDs()))
+	return nil
+}

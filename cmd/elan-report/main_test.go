@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report")
+	if err := run(out, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	index, err := os.ReadFile(filepath.Join(out, "README.md"))
+	if err != nil {
+		t.Fatalf("read index: %v", err)
+	}
+	s := string(index)
+	for _, want := range []string{"fig15", "table4", "straggler", "| ok |"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Fatalf("report contains failures:\n%s", s)
+	}
+	// Every experiment file exists and is non-empty.
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	txt := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".txt") {
+			info, err := e.Info()
+			if err != nil {
+				t.Fatalf("stat: %v", err)
+			}
+			if info.Size() == 0 {
+				t.Errorf("%s is empty", e.Name())
+			}
+			txt++
+		}
+	}
+	if txt < 25 {
+		t.Fatalf("only %d experiment files", txt)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", false); err == nil {
+		t.Fatal("empty output dir accepted")
+	}
+}

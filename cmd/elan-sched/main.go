@@ -1,0 +1,112 @@
+// Command elan-sched runs the elastic scheduling simulator on a synthetic
+// trace and reports JPT / JCT / makespan / utilization.
+//
+// Usage:
+//
+//	elan-sched -policy e-bf -system elan -gpus 128 -hours 48 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/elan-sys/elan/internal/metrics"
+	"github.com/elan-sys/elan/internal/sched"
+	"github.com/elan-sys/elan/internal/trace"
+)
+
+func main() {
+	var (
+		policy  = flag.String("policy", "e-bf", "fifo | bf | e-fifo | e-bf")
+		system  = flag.String("system", "elan", "ideal | elan | sr")
+		gpus    = flag.Int("gpus", 128, "cluster GPU count")
+		hours   = flag.Float64("hours", 48, "trace span in hours")
+		perDay  = flag.Int("jobs-per-day", 260, "mean job arrivals per day")
+		service = flag.Float64("service-min", 150, "mean job service minutes")
+		seed    = flag.Int64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *policy, *system, *gpus, *hours, *perDay, *service, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "elan-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(s string) (sched.Policy, error) {
+	switch s {
+	case "fifo":
+		return sched.FIFO, nil
+	case "bf":
+		return sched.Backfill, nil
+	case "e-fifo":
+		return sched.ElasticFIFO, nil
+	case "e-bf":
+		return sched.ElasticBackfill, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseSystem(s string, seed int64) (sched.System, error) {
+	switch s {
+	case "ideal":
+		return sched.IdealSystem{}, nil
+	case "elan":
+		return sched.NewElanSystem(seed), nil
+	case "sr":
+		return sched.NewSRSystem(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", s)
+	}
+}
+
+func run(w io.Writer, policyName, systemName string, gpus int, hours float64, perDay int, service float64, seed int64) error {
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	system, err := parseSystem(systemName, seed)
+	if err != nil {
+		return err
+	}
+	tcfg := trace.Config{
+		Seed:               seed,
+		Span:               time.Duration(hours * float64(time.Hour)),
+		JobsPerDay:         perDay,
+		ClusterGPUs:        gpus,
+		MeanServiceMinutes: service,
+	}
+	jobs, err := trace.Generate(tcfg)
+	if err != nil {
+		return err
+	}
+	cfg := sched.DefaultConfig(policy, system)
+	cfg.GPUs = gpus
+	res, err := sched.Run(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(fmt.Sprintf("%s on %s, %d jobs, %d GPUs", policy, system.Name(), len(jobs), gpus),
+		"Metric", "Value")
+	t.AddRow("mean JPT", res.MeanJPT.Round(time.Second).String())
+	t.AddRow("mean JCT", res.MeanJCT.Round(time.Second).String())
+	t.AddRow("makespan", res.Makespan.Round(time.Minute).String())
+	var meanUtil float64
+	for _, u := range res.UtilVals {
+		meanUtil += u
+	}
+	if len(res.UtilVals) > 0 {
+		meanUtil /= float64(len(res.UtilVals))
+	}
+	t.AddRow("mean utilization", fmt.Sprintf("%.1f%%", 100*meanUtil))
+	t.Render(w)
+	util := &metrics.Series{Name: "utilization"}
+	for i := range res.UtilHours {
+		util.Add(res.UtilHours[i], res.UtilVals[i])
+	}
+	metrics.PlotASCII(w, "GPU utilization over time", 72, 12, util.Downsample(72))
+	return nil
+}

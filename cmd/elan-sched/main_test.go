@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"fifo", "bf", "e-fifo", "e-bf"} {
+		if _, err := parsePolicy(name); err != nil {
+			t.Errorf("parsePolicy(%s): %v", name, err)
+		}
+	}
+	if _, err := parsePolicy("lifo"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	for _, name := range []string{"ideal", "elan", "sr"} {
+		if _, err := parseSystem(name, 1); err != nil {
+			t.Errorf("parseSystem(%s): %v", name, err)
+		}
+	}
+	if _, err := parseSystem("magic", 1); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "e-bf", "elan", 128, 2, 300, 30, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"mean JPT", "mean JCT", "makespan", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nope", "elan", 128, 2, 300, 30, 1); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run(&b, "e-bf", "nope", 128, 2, 300, 30, 1); err == nil {
+		t.Fatal("bad system accepted")
+	}
+	if err := run(&b, "e-bf", "elan", 0, 2, 300, 30, 1); err == nil {
+		t.Fatal("zero GPUs accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command elan-trace generates and inspects synthetic DL-training job
+// traces (the Sensetime-trace substitute).
+//
+// Usage:
+//
+//	elan-trace -hours 168 -seed 1           # weekly stats + utilization plot
+//	elan-trace -hours 48 -dump | head -20   # job listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/elan-sys/elan/internal/metrics"
+	"github.com/elan-sys/elan/internal/trace"
+)
+
+func main() {
+	var (
+		hours   = flag.Float64("hours", 168, "trace span in hours")
+		perDay  = flag.Int("jobs-per-day", 260, "mean job arrivals per day")
+		service = flag.Float64("service-min", 150, "mean job service minutes")
+		gpus    = flag.Int("gpus", 128, "cluster GPU count")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		dump    = flag.Bool("dump", false, "print every job instead of stats")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *hours, *perDay, *service, *gpus, *seed, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "elan-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, hours float64, perDay int, service float64, gpus int, seed int64, dump bool) error {
+	cfg := trace.Config{
+		Seed:               seed,
+		Span:               time.Duration(hours * float64(time.Hour)),
+		JobsPerDay:         perDay,
+		ClusterGPUs:        gpus,
+		MeanServiceMinutes: service,
+	}
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if dump {
+		t := metrics.NewTable("", "ID", "Submit", "Model", "Req", "Min", "Max", "BS/worker")
+		for _, j := range jobs {
+			t.AddRow(j.ID, j.Submit.Round(time.Second).String(), j.Model.Name,
+				j.ReqWorkers, j.MinWorkers, j.MaxWorkers, j.PerWorkerBatch)
+		}
+		t.Render(w)
+		return nil
+	}
+	sizes := make([]float64, len(jobs))
+	for i, j := range jobs {
+		sizes[i] = float64(j.ReqWorkers)
+	}
+	sum := metrics.Summarize(sizes)
+	t := metrics.NewTable(fmt.Sprintf("trace: %d jobs over %.0f hours", len(jobs), hours),
+		"Metric", "Value")
+	t.AddRow("jobs", len(jobs))
+	t.AddRow("mean req workers", sum.Mean)
+	t.AddRow("max req workers", sum.Max)
+	t.AddRow("p50 req workers", metrics.Percentile(sizes, 50))
+	t.AddRow("p90 req workers", metrics.Percentile(sizes, 90))
+	t.Render(w)
+
+	hoursX, utils, err := trace.UtilizationSeries(jobs, gpus, 30*time.Minute)
+	if err != nil {
+		return err
+	}
+	s := &metrics.Series{Name: "utilization"}
+	for i := range hoursX {
+		s.Add(hoursX[i], utils[i])
+	}
+	metrics.PlotASCII(w, "static-FIFO utilization (Figure 1 style)", 72, 12, s.Downsample(72))
+	fmt.Fprintf(w, "mean utilization: %.1f%%\n", 100*s.MeanY())
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 24, 260, 150, 128, 1, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"jobs", "mean req workers", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 6, 260, 150, 128, 1, true); err != nil {
+		t.Fatalf("run -dump: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Submit") || !strings.Contains(out, "Model") {
+		t.Fatalf("dump header missing:\n%.200s", out)
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Fatal("dump too short")
+	}
+}
+
+func TestRunInvalid(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, 260, 150, 128, 1, false); err == nil {
+		t.Fatal("zero hours accepted")
+	}
+	if err := run(&b, 24, 0, 150, 128, 1, false); err == nil {
+		t.Fatal("zero jobs/day accepted")
+	}
+}

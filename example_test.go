@@ -1,0 +1,96 @@
+package elan_test
+
+import (
+	"fmt"
+
+	elan "github.com/elan-sys/elan"
+)
+
+// ExampleHybridMechanism demonstrates Algorithm 1: scaling ResNet-50 from
+// 16 to 32 workers keeps the total batch (strong scaling), while scaling to
+// 512 workers grows it and rescales the learning rate linearly.
+func Example_hybridScaling() {
+	h, err := elan.NewHybridMechanism()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m, err := elan.ModelByName("ResNet-50")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	small, err := h.Decide(m, 16, 512, 32, 0.1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("16->32: TBS %d, strong=%v, LR %.1f\n", small.TotalBatch, small.Strong, small.TargetLR)
+	big, err := h.Decide(m, 16, 512, 512, 0.1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("16->512: TBS %d, strong=%v, LR factor %.0fx\n", big.TotalBatch, big.Strong, big.Factor)
+	// Output:
+	// 16->32: TBS 512, strong=true, LR 0.1
+	// 16->512: TBS 16384, strong=false, LR factor 32x
+}
+
+// Example_lrSchedule shows the progressive linear scaling rule (Equation 3):
+// the learning rate ramps linearly from lr0 to lr0*k over T iterations.
+func Example_lrSchedule() {
+	sched, err := elan.NewLRSchedule(0.1, 0.4, 100, 100)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, t := range []int{0, 100, 150, 200, 500} {
+		fmt.Printf("iter %3d: lr %.3f\n", t, sched.At(t))
+	}
+	// Output:
+	// iter   0: lr 0.100
+	// iter 100: lr 0.100
+	// iter 150: lr 0.250
+	// iter 200: lr 0.400
+	// iter 500: lr 0.400
+}
+
+// Example_topology classifies links between GPUs and picks replication
+// sources the way Section IV describes.
+func Example_topology() {
+	a := elan.GPUID{Node: 0, Socket: 0, Switch: 0, Index: 0}
+	b := elan.GPUID{Node: 0, Socket: 0, Switch: 0, Index: 1}
+	c := elan.GPUID{Node: 0, Socket: 1, Switch: 0, Index: 0}
+	d := elan.GPUID{Node: 1, Socket: 0, Switch: 0, Index: 0}
+	fmt.Println(a.String(), "<->", b.String())
+	fmt.Println(a.String(), "<->", c.String())
+	fmt.Println(a.String(), "<->", d.String())
+	// Output:
+	// n0.s0.p0.g0 <-> n0.s0.p0.g1
+	// n0.s0.p0.g0 <-> n0.s1.p0.g0
+	// n0.s0.p0.g0 <-> n1.s0.p0.g0
+}
+
+// Example_perfModel queries the strong-scaling optimum that Algorithm 1
+// consults: bigger batches support more workers.
+func Example_perfModel() {
+	p := elan.NewPerfModel()
+	m, err := elan.ModelByName("ResNet-50")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, tbs := range []int{128, 512, 2048} {
+		n, err := p.OptimalWorkers(m, tbs, 1024)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("TBS %4d: optimal workers %d\n", tbs, n)
+	}
+	// Output:
+	// TBS  128: optimal workers 16
+	// TBS  512: optimal workers 32
+	// TBS 2048: optimal workers 128
+}

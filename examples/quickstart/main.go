@@ -1,0 +1,125 @@
+// Quickstart: create a cluster, start an elastic ResNet-50 job on 8 GPUs,
+// scale it out to 16, migrate it to another set of nodes and scale it back
+// in — printing what Elan does at each step and how long training pauses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	elan "github.com/elan-sys/elan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's testbed: 8 nodes x 2 sockets x 2 PCIe switches x 2 GPUs.
+	cluster, err := elan.NewCluster(elan.DefaultGeometry())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d GPUs (%d per node)\n", cluster.NumGPUs(), cluster.GPUsPerNode())
+
+	model, err := elan.ModelByName("ResNet-50")
+	if err != nil {
+		return err
+	}
+	gpus, err := cluster.Reserve(8)
+	if err != nil {
+		return err
+	}
+	ids := make([]elan.GPUID, len(gpus))
+	for i, g := range gpus {
+		ids[i] = g.ID
+	}
+	job, err := elan.NewJob(elan.JobConfig{
+		Model:      model,
+		Cluster:    cluster,
+		Workers:    ids,
+		TotalBatch: 256,
+		LR:         0.1,
+		Seed:       42,
+	})
+	if err != nil {
+		return err
+	}
+	report := func(label string, rep elan.AdjustmentReport) {
+		fmt.Printf("\n%s (%v): training paused %v\n", label, rep.Kind, rep.Pause.Round(1e6))
+		for _, p := range rep.Breakdown {
+			fmt.Printf("  %-18s %v\n", p.Name, p.Duration.Round(1e5))
+		}
+		if rep.HiddenStartInit > 0 {
+			fmt.Printf("  (start+init of new workers, %v, overlapped with training)\n",
+				rep.HiddenStartInit.Round(1e6))
+		}
+		if !rep.Decision.Strong {
+			fmt.Printf("  hybrid scaling: total batch -> %d (k=%.0f), LR -> %.3f\n",
+				rep.Decision.TotalBatch, rep.Decision.Factor, rep.Decision.TargetLR)
+		}
+	}
+
+	tp, err := job.Throughput()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\njob: %s, %d workers, total batch %d, %.0f samples/s\n",
+		model.Name, job.NumWorkers(), job.TotalBatch, tp)
+	ov, err := job.RuntimeOverhead()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elasticity runtime overhead: %.2f per-mille\n", ov*1000)
+
+	// Scale out 8 -> 16.
+	more, err := cluster.Reserve(8)
+	if err != nil {
+		return err
+	}
+	moreIDs := make([]elan.GPUID, len(more))
+	for i, g := range more {
+		moreIDs[i] = g.ID
+	}
+	rep, err := job.ScaleOut(moreIDs)
+	if err != nil {
+		return err
+	}
+	report("scale out 8 -> 16", rep)
+
+	// Migrate the 16 workers to fresh GPUs.
+	dest, err := cluster.Reserve(16)
+	if err != nil {
+		return err
+	}
+	destIDs := make([]elan.GPUID, len(dest))
+	for i, g := range dest {
+		destIDs[i] = g.ID
+	}
+	old := append([]elan.GPUID(nil), job.Workers...)
+	rep, err = job.Migrate(destIDs)
+	if err != nil {
+		return err
+	}
+	report("migrate 16 -> 16", rep)
+	_ = old
+
+	// Scale in 16 -> 8 (concede resources to another job).
+	rep, err = job.ScaleIn(job.Workers[8:])
+	if err != nil {
+		return err
+	}
+	report("scale in 16 -> 8", rep)
+
+	tp, err = job.Throughput()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinal: %d workers, total batch %d, %.0f samples/s\n",
+		job.NumWorkers(), job.TotalBatch, tp)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/elan-sys/elan
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package checkpoint models the checkpoint path that the Shutdown-&-Restart
+// baseline uses to replicate training state (Section V-B, Figures 10/11):
+// GPU state is first copied device-to-host over PCIe, then serialized and
+// written to a shared filesystem (the paper's Lustre), and restored by the
+// inverse path. The package provides both the cost model (simulated
+// durations) and a real in-memory file store with gob serialization used by
+// the integration tests, so the code path exercised is the same shape as
+// the production one: copy, serialize, write, read, deserialize, copy back.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrNoCheckpoint is returned when loading a checkpoint that was never saved.
+var ErrNoCheckpoint = errors.New("checkpoint: not found")
+
+// FSModel is the shared-filesystem cost model.
+type FSModel struct {
+	// WriteBytesPerSec is the aggregate write bandwidth.
+	WriteBytesPerSec float64
+	// ReadBytesPerSec is the aggregate read bandwidth.
+	ReadBytesPerSec float64
+	// OpLatency is the fixed metadata cost per save or load.
+	OpLatency time.Duration
+	// PCIeBytesPerSec is the host<->device copy bandwidth (the CPU-GPU
+	// memory copy the paper's IO-free mechanism avoids).
+	PCIeBytesPerSec float64
+}
+
+// DefaultFSModel approximates a busy Lustre deployment plus PCIe gen3 D2H.
+func DefaultFSModel() FSModel {
+	return FSModel{
+		WriteBytesPerSec: 800e6,
+		ReadBytesPerSec:  1.2e9,
+		OpLatency:        120 * time.Millisecond,
+		PCIeBytesPerSec:  6e9,
+	}
+}
+
+// SaveTime returns the simulated time to checkpoint gpuBytes of device state
+// and cpuBytes of host state: D2H copy of the GPU part, then an FS write of
+// everything.
+func (m FSModel) SaveTime(gpuBytes, cpuBytes int64) time.Duration {
+	if gpuBytes < 0 {
+		gpuBytes = 0
+	}
+	if cpuBytes < 0 {
+		cpuBytes = 0
+	}
+	d2h := time.Duration(float64(gpuBytes) / m.PCIeBytesPerSec * float64(time.Second))
+	write := time.Duration(float64(gpuBytes+cpuBytes) / m.WriteBytesPerSec * float64(time.Second))
+	return m.OpLatency + d2h + write
+}
+
+// LoadTime returns the simulated time to restore a checkpoint: FS read of
+// everything, then H2D copy of the GPU part. nReaders > 1 models restart
+// workers loading the same checkpoint concurrently and splitting read
+// bandwidth.
+func (m FSModel) LoadTime(gpuBytes, cpuBytes int64, nReaders int) time.Duration {
+	if gpuBytes < 0 {
+		gpuBytes = 0
+	}
+	if cpuBytes < 0 {
+		cpuBytes = 0
+	}
+	if nReaders < 1 {
+		nReaders = 1
+	}
+	perReader := m.ReadBytesPerSec / float64(nReaders)
+	read := time.Duration(float64(gpuBytes+cpuBytes) / perReader * float64(time.Second))
+	h2d := time.Duration(float64(gpuBytes) / m.PCIeBytesPerSec * float64(time.Second))
+	return m.OpLatency + read + h2d
+}
+
+// Store is a real in-memory checkpoint store with gob serialization,
+// standing in for files on the shared FS.
+type Store struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewStore creates an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{blobs: make(map[string][]byte)}
+}
+
+// Save serializes state under name and returns the serialized size.
+func (s *Store) Save(name string, state any) (int64, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+		return 0, fmt.Errorf("checkpoint: encode %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob := make([]byte, buf.Len())
+	copy(blob, buf.Bytes())
+	s.blobs[name] = blob
+	return int64(len(blob)), nil
+}
+
+// Load deserializes the checkpoint saved under name into state (a pointer).
+func (s *Store) Load(name string, state any) error {
+	s.mu.Lock()
+	blob, ok := s.blobs[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoCheckpoint, name)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(state); err != nil {
+		return fmt.Errorf("checkpoint: decode %q: %w", name, err)
+	}
+	return nil
+}
+
+// Size returns the stored size of a checkpoint, or an error if absent.
+func (s *Store) Size(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoCheckpoint, name)
+	}
+	return int64(len(blob)), nil
+}
+
+// Delete removes a checkpoint; deleting a missing one is a no-op.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, name)
+}

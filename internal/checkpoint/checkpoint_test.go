@@ -1,0 +1,114 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSaveTimeScalesWithSize(t *testing.T) {
+	m := DefaultFSModel()
+	small := m.SaveTime(100<<20, 1<<10)
+	large := m.SaveTime(1<<30, 1<<10)
+	if large <= small {
+		t.Fatalf("save time not monotone: %v <= %v", large, small)
+	}
+	// Negative sizes treated as zero.
+	if got := m.SaveTime(-1, -1); got != m.OpLatency {
+		t.Fatalf("negative-size save = %v, want pure latency", got)
+	}
+}
+
+func TestSaveTimeDominatedByFSWrite(t *testing.T) {
+	// The paper's argument for IO-free replication: the FS write (plus the
+	// D2H copy) dwarfs a P2P transfer. VGG-scale state: 1.14 GB.
+	m := DefaultFSModel()
+	gpu := int64(1144 << 20)
+	save := m.SaveTime(gpu, 64<<10)
+	// Write alone at 800 MB/s is ~1.5s.
+	if save < time.Second {
+		t.Fatalf("checkpoint save %v suspiciously fast", save)
+	}
+}
+
+func TestLoadTimeReadersShareBandwidth(t *testing.T) {
+	m := DefaultFSModel()
+	one := m.LoadTime(1<<30, 0, 1)
+	many := m.LoadTime(1<<30, 0, 8)
+	if many <= one {
+		t.Fatalf("8 readers (%v) not slower than 1 (%v)", many, one)
+	}
+	if got := m.LoadTime(1<<20, 0, 0); got <= 0 {
+		t.Fatalf("nReaders=0 load = %v", got)
+	}
+}
+
+type fakeState struct {
+	Params  []float64
+	Cursor  int
+	Epoch   int
+	LabelLR float64
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	in := fakeState{Params: []float64{1, 2, 3}, Cursor: 42, Epoch: 3, LabelLR: 0.1}
+	size, err := s.Save("job1", in)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if size <= 0 {
+		t.Fatalf("size = %d", size)
+	}
+	got, err := s.Size("job1")
+	if err != nil || got != size {
+		t.Fatalf("Size = %d, %v", got, err)
+	}
+	var out fakeState
+	if err := s.Load("job1", &out); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Cursor != 42 || out.Epoch != 3 || len(out.Params) != 3 || out.Params[2] != 3 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestStoreMissing(t *testing.T) {
+	s := NewStore()
+	var out fakeState
+	if err := s.Load("ghost", &out); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load missing = %v", err)
+	}
+	if _, err := s.Size("ghost"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Size missing = %v", err)
+	}
+	s.Delete("ghost") // no-op must not panic
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Save("k", fakeState{Cursor: 1}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := s.Save("k", fakeState{Cursor: 2}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var out fakeState
+	if err := s.Load("k", &out); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Cursor != 2 {
+		t.Fatalf("Cursor = %d, want 2", out.Cursor)
+	}
+	s.Delete("k")
+	if err := s.Load("k", &out); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatal("checkpoint survived delete")
+	}
+}
+
+func TestStoreSaveUnencodable(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Save("bad", func() {}); err == nil {
+		t.Fatal("function value encoded")
+	}
+}

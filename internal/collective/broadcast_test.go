@@ -1,0 +1,164 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for root := 0; root < n; root++ {
+			g, err := NewGroup(n)
+			if err != nil {
+				t.Fatalf("NewGroup: %v", err)
+			}
+			length := 23
+			vecs := make([][]float64, n)
+			want := make([]float64, length)
+			for i := range want {
+				want[i] = float64(root*100 + i)
+			}
+			for r := range vecs {
+				vecs[r] = make([]float64, length)
+				if r == root {
+					copy(vecs[r], want)
+				}
+			}
+			if err := runCollective(n, func(rank int) error {
+				return g.Broadcast(rank, root, vecs[rank])
+			}); err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if vecs[r][i] != want[i] {
+						t.Fatalf("n=%d root=%d rank=%d idx=%d: %v != %v",
+							n, root, r, i, vecs[r][i], want[i])
+					}
+				}
+			}
+			g.Close()
+		}
+	}
+}
+
+func TestBroadcastSingleRank(t *testing.T) {
+	g, err := NewGroup(1)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	vec := []float64{1, 2}
+	if err := g.Broadcast(0, 0, vec); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if vec[0] != 1 || vec[1] != 2 {
+		t.Fatal("single-rank broadcast changed data")
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	if err := g.Broadcast(5, 0, []float64{1}); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+	if err := g.Broadcast(0, 5, []float64{1}); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestBroadcastCloseUnblocks(t *testing.T) {
+	g, err := NewGroup(3)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Broadcast(1, 0, make([]float64, 8))
+	}()
+	g.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestBroadcastRandomized(t *testing.T) {
+	prop := func(seed int64, nRaw, lenRaw, rootRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		length := int(lenRaw%40) + 1
+		root := int(rootRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		g, err := NewGroup(n)
+		if err != nil {
+			return false
+		}
+		defer g.Close()
+		want := make([]float64, length)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		vecs := make([][]float64, n)
+		for r := range vecs {
+			vecs[r] = make([]float64, length)
+			if r == root {
+				copy(vecs[r], want)
+			}
+		}
+		if err := runCollective(n, func(rank int) error {
+			return g.Broadcast(rank, root, vecs[rank])
+		}); err != nil {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if vecs[r][i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastThenAllReduce(t *testing.T) {
+	// The adjustment sequence: broadcast the model to joiners, then the
+	// next iteration's allreduce works on the same group.
+	n := 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	vecs := make([][]float64, n)
+	for r := range vecs {
+		vecs[r] = make([]float64, 10)
+	}
+	for i := range vecs[0] {
+		vecs[0][i] = float64(i)
+	}
+	if err := runCollective(n, func(rank int) error {
+		return g.Broadcast(rank, 0, vecs[rank])
+	}); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if err := runCollective(n, func(rank int) error {
+		return g.AllReduce(rank, vecs[rank])
+	}); err != nil {
+		t.Fatalf("AllReduce: %v", err)
+	}
+	for r := 0; r < n; r++ {
+		for i := range vecs[r] {
+			if vecs[r][i] != float64(i*n) {
+				t.Fatalf("rank %d idx %d: %v", r, i, vecs[r][i])
+			}
+		}
+	}
+}

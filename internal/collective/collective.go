@@ -1,0 +1,211 @@
+// Package collective implements the collective communication used by
+// data-parallel training: a real ring allreduce across in-process workers
+// (goroutines connected by channels), plus group construction and
+// reconstruction, which the elastic runtime performs after every resource
+// adjustment (Section II, step 5).
+//
+// The allreduce is the textbook two-phase ring: a reduce-scatter of N chunks
+// over N-1 steps followed by an allgather over N-1 steps. Each rank runs in
+// its own goroutine, so the gradient math of the pure-Go training substrate
+// is genuinely distributed rather than simulated.
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned when operating on a closed group.
+var ErrClosed = errors.New("collective: group closed")
+
+type chunkMsg struct {
+	idx  int
+	data []float64
+}
+
+// Group is a communication group of n ranks. All ranks must call AllReduce
+// (or Barrier) collectively; the calls block until the collective completes.
+// A Group is safe for concurrent use by its n member goroutines.
+type Group struct {
+	n int
+	// ring[i] carries messages from rank i to rank (i+1)%n.
+	ring []chan chunkMsg
+	// barrier support
+	barrierMu  sync.Mutex
+	barrierN   int
+	barrierGen int
+	barrierC   *sync.Cond
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewGroup constructs a communication group with n ranks.
+func NewGroup(n int) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("collective: non-positive group size %d", n)
+	}
+	g := &Group{
+		n:      n,
+		ring:   make([]chan chunkMsg, n),
+		closed: make(chan struct{}),
+	}
+	for i := range g.ring {
+		g.ring[i] = make(chan chunkMsg, 1)
+	}
+	g.barrierC = sync.NewCond(&g.barrierMu)
+	return g, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.n }
+
+// Close aborts pending collectives; blocked ranks return ErrClosed.
+func (g *Group) Close() {
+	g.closeOnce.Do(func() {
+		close(g.closed)
+		g.barrierMu.Lock()
+		g.barrierGen++
+		g.barrierN = 0
+		g.barrierC.Broadcast()
+		g.barrierMu.Unlock()
+	})
+}
+
+func (g *Group) send(from int, msg chunkMsg) error {
+	select {
+	case g.ring[from] <- msg:
+		return nil
+	case <-g.closed:
+		return ErrClosed
+	}
+}
+
+func (g *Group) recv(to int) (chunkMsg, error) {
+	from := (to - 1 + g.n) % g.n
+	select {
+	case m := <-g.ring[from]:
+		return m, nil
+	case <-g.closed:
+		return chunkMsg{}, ErrClosed
+	}
+}
+
+// chunkBounds returns the [lo, hi) range of chunk idx for a vector of length
+// total split into g.n chunks.
+func (g *Group) chunkBounds(total, idx int) (int, int) {
+	base := total / g.n
+	rem := total % g.n
+	lo := idx*base + min(idx, rem)
+	size := base
+	if idx < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// AllReduce sums vec elementwise across all ranks, in place. Every rank must
+// call it with a vector of identical length; on return every rank holds the
+// global sum. rank identifies the caller in [0, n).
+func (g *Group) AllReduce(rank int, vec []float64) error {
+	if rank < 0 || rank >= g.n {
+		return fmt.Errorf("collective: rank %d out of [0, %d)", rank, g.n)
+	}
+	if g.n == 1 {
+		return nil
+	}
+	n := g.n
+	// Phase 1: reduce-scatter. At step s (0-based), rank r sends chunk
+	// (r-s) mod n and receives chunk (r-s-1) mod n, accumulating into it.
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((rank-s)%n + n) % n
+		lo, hi := g.chunkBounds(len(vec), sendIdx)
+		out := make([]float64, hi-lo)
+		copy(out, vec[lo:hi])
+		if err := g.send(rank, chunkMsg{idx: sendIdx, data: out}); err != nil {
+			return err
+		}
+		m, err := g.recv(rank)
+		if err != nil {
+			return err
+		}
+		lo, hi = g.chunkBounds(len(vec), m.idx)
+		if hi-lo != len(m.data) {
+			return fmt.Errorf("collective: rank %d got chunk %d of %d values, want %d (vector length mismatch across ranks?)",
+				rank, m.idx, len(m.data), hi-lo)
+		}
+		for i, v := range m.data {
+			vec[lo+i] += v
+		}
+	}
+	// Phase 2: allgather. At step s, rank r sends chunk (r+1-s) mod n and
+	// receives chunk (r-s) mod n, overwriting it.
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((rank+1-s)%n + n) % n
+		lo, hi := g.chunkBounds(len(vec), sendIdx)
+		out := make([]float64, hi-lo)
+		copy(out, vec[lo:hi])
+		if err := g.send(rank, chunkMsg{idx: sendIdx, data: out}); err != nil {
+			return err
+		}
+		m, err := g.recv(rank)
+		if err != nil {
+			return err
+		}
+		lo, hi = g.chunkBounds(len(vec), m.idx)
+		if hi-lo != len(m.data) {
+			return fmt.Errorf("collective: rank %d allgather chunk %d size mismatch", rank, m.idx)
+		}
+		copy(vec[lo:hi], m.data)
+	}
+	return nil
+}
+
+// AllReduceMean is AllReduce followed by dividing by the group size, which
+// is how data-parallel training averages gradients.
+func (g *Group) AllReduceMean(rank int, vec []float64) error {
+	if err := g.AllReduce(rank, vec); err != nil {
+		return err
+	}
+	inv := 1 / float64(g.n)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return nil
+}
+
+// Barrier blocks until all n ranks have called it.
+func (g *Group) Barrier() error {
+	g.barrierMu.Lock()
+	defer g.barrierMu.Unlock()
+	select {
+	case <-g.closed:
+		return ErrClosed
+	default:
+	}
+	gen := g.barrierGen
+	g.barrierN++
+	if g.barrierN == g.n {
+		g.barrierN = 0
+		g.barrierGen++
+		g.barrierC.Broadcast()
+		return nil
+	}
+	for gen == g.barrierGen {
+		g.barrierC.Wait()
+		select {
+		case <-g.closed:
+			return ErrClosed
+		default:
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// runCollective runs fn on n goroutines, one per rank, and returns the first
+// error observed.
+func runCollective(n int, fn func(rank int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[r] = fn(r)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0); err == nil {
+		t.Fatal("zero-size group accepted")
+	}
+	g, err := NewGroup(4)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	if g.Size() != 4 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestAllReduceSingleRank(t *testing.T) {
+	g, err := NewGroup(1)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	vec := []float64{1, 2, 3}
+	if err := g.AllReduce(0, vec); err != nil {
+		t.Fatalf("AllReduce: %v", err)
+	}
+	if vec[0] != 1 || vec[1] != 2 || vec[2] != 3 {
+		t.Fatalf("single-rank allreduce changed data: %v", vec)
+	}
+}
+
+func TestAllReduceSums(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, length := range []int{1, 5, 8, 17, 100} {
+			g, err := NewGroup(n)
+			if err != nil {
+				t.Fatalf("NewGroup: %v", err)
+			}
+			vecs := make([][]float64, n)
+			want := make([]float64, length)
+			for r := range vecs {
+				vecs[r] = make([]float64, length)
+				for i := range vecs[r] {
+					vecs[r][i] = float64(r*1000 + i)
+					want[i] += vecs[r][i]
+				}
+			}
+			if err := runCollective(n, func(rank int) error {
+				return g.AllReduce(rank, vecs[rank])
+			}); err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, length, err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if math.Abs(vecs[r][i]-want[i]) > 1e-9 {
+						t.Fatalf("n=%d len=%d rank=%d idx=%d: got %v want %v",
+							n, length, r, i, vecs[r][i], want[i])
+					}
+				}
+			}
+			g.Close()
+		}
+	}
+}
+
+func TestAllReduceMean(t *testing.T) {
+	n := 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	vecs := make([][]float64, n)
+	for r := range vecs {
+		vecs[r] = []float64{float64(r)}
+	}
+	if err := runCollective(n, func(rank int) error {
+		return g.AllReduceMean(rank, vecs[rank])
+	}); err != nil {
+		t.Fatalf("AllReduceMean: %v", err)
+	}
+	want := (0.0 + 1 + 2 + 3) / 4
+	for r := 0; r < n; r++ {
+		if math.Abs(vecs[r][0]-want) > 1e-12 {
+			t.Fatalf("rank %d mean = %v, want %v", r, vecs[r][0], want)
+		}
+	}
+}
+
+func TestAllReduceRankValidation(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	if err := g.AllReduce(2, []float64{1}); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if err := g.AllReduce(-1, []float64{1}); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestAllReduceRepeated(t *testing.T) {
+	// Multiple sequential collectives on one group (training iterations).
+	n := 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	for iter := 0; iter < 10; iter++ {
+		vecs := make([][]float64, n)
+		for r := range vecs {
+			vecs[r] = []float64{1}
+		}
+		if err := runCollective(n, func(rank int) error {
+			return g.AllReduce(rank, vecs[rank])
+		}); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for r := 0; r < n; r++ {
+			if vecs[r][0] != float64(n) {
+				t.Fatalf("iter %d rank %d: %v", iter, r, vecs[r][0])
+			}
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	n := 6
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer g.Close()
+	for round := 0; round < 5; round++ {
+		if err := runCollective(n, func(rank int) error {
+			return g.Barrier()
+		}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestCloseUnblocks(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Only rank 0 joins; it blocks until Close.
+		done <- g.AllReduce(0, []float64{1, 2})
+	}()
+	g.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Barrier after close fails immediately.
+	if err := g.Barrier(); err != ErrClosed {
+		t.Fatalf("Barrier after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseUnblocksBarrier(t *testing.T) {
+	g, err := NewGroup(3)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Barrier() }()
+	g.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestGroupReconstruction(t *testing.T) {
+	// Scaling out: close the old group, build a bigger one, collectives
+	// still work — this is the "communication group reconstruction" of the
+	// adjustment procedure.
+	old, err := NewGroup(2)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	vecs := [][]float64{{1}, {2}}
+	if err := runCollective(2, func(r int) error { return old.AllReduce(r, vecs[r]) }); err != nil {
+		t.Fatalf("old group: %v", err)
+	}
+	old.Close()
+	bigger, err := NewGroup(4)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	defer bigger.Close()
+	vecs4 := [][]float64{{1}, {1}, {1}, {1}}
+	if err := runCollective(4, func(r int) error { return bigger.AllReduce(r, vecs4[r]) }); err != nil {
+		t.Fatalf("new group: %v", err)
+	}
+	for r := 0; r < 4; r++ {
+		if vecs4[r][0] != 4 {
+			t.Fatalf("rank %d: %v", r, vecs4[r][0])
+		}
+	}
+}
+
+func TestAllReduceMatchesSequentialSum(t *testing.T) {
+	// Property: ring allreduce equals a sequential elementwise sum for
+	// random vectors, sizes and group sizes.
+	prop := func(seed int64, nRaw, lenRaw uint8) bool {
+		n := int(nRaw%7) + 2 // 2..8 ranks
+		length := int(lenRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g, err := NewGroup(n)
+		if err != nil {
+			return false
+		}
+		defer g.Close()
+		vecs := make([][]float64, n)
+		want := make([]float64, length)
+		for r := range vecs {
+			vecs[r] = make([]float64, length)
+			for i := range vecs[r] {
+				vecs[r][i] = rng.NormFloat64()
+				want[i] += vecs[r][i]
+			}
+		}
+		if err := runCollective(n, func(rank int) error {
+			return g.AllReduce(rank, vecs[rank])
+		}); err != nil {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(vecs[r][i]-want[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package coord implements the application master (AM) and the asynchronous
+// coordination mechanism of Sections II and V-B.
+//
+// The AM is a small state machine attached to each elastic job:
+//
+//	Idle --RequestAdjustment--> Pending --all new workers reported--> Ready
+//	Ready --Coordinate (by existing workers at an iteration boundary)--> Idle
+//
+// The two properties that make adjustments cheap are encoded here. First,
+// new workers start and initialize in parallel with ongoing training and
+// report when ready; existing workers never wait — if a coordination call
+// arrives while workers are still launching, it simply returns "keep
+// training" and the adjustment is picked up by a later coordination.
+// Second, no existing worker is ever shut down: Coordinate hands back an
+// adjustment plan that the runtime applies in place.
+//
+// For fault tolerance (Section V-D) the AM persists its state machine to a
+// versioned store (the etcd stand-in) using compare-and-swap: a recovered
+// incarnation resumes from the stored state, and a stale incarnation that
+// lost the key fences itself off with ErrFenced.
+package coord
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/elan-sys/elan/internal/store"
+)
+
+// Errors returned by the AM.
+var (
+	// ErrBusy is returned when requesting an adjustment while another is in
+	// flight; the scheduler retries at the next opportunity.
+	ErrBusy = errors.New("coord: adjustment already in progress")
+	// ErrFenced is returned when this AM incarnation lost the persistence
+	// race to a newer one and must stop.
+	ErrFenced = errors.New("coord: AM incarnation fenced off")
+	// ErrUnknownWorker is returned for a report from a worker that is not
+	// part of the pending adjustment.
+	ErrUnknownWorker = errors.New("coord: worker not in pending adjustment")
+)
+
+// Kind classifies a resource adjustment.
+type Kind int
+
+const (
+	// ScaleOut adds workers.
+	ScaleOut Kind = iota + 1
+	// ScaleIn removes workers.
+	ScaleIn
+	// Migrate moves the job to a different worker set.
+	Migrate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ScaleOut:
+		return "scale-out"
+	case ScaleIn:
+		return "scale-in"
+	case Migrate:
+		return "migrate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// State is the AM state-machine state.
+type State int
+
+const (
+	// Idle means no adjustment is in flight.
+	Idle State = iota + 1
+	// Pending means an adjustment was requested and new workers (if any)
+	// are still starting.
+	Pending
+	// Ready means all new workers reported; the adjustment fires at the
+	// next coordination.
+	Ready
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Pending:
+		return "pending"
+	case Ready:
+		return "ready"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Adjustment is the plan handed to the runtime when a coordination fires.
+type Adjustment struct {
+	// Seq is the monotonically increasing adjustment number of this job.
+	Seq int64
+	// Kind of adjustment.
+	Kind Kind
+	// Add are the worker names joining; Remove are those leaving.
+	Add    []string
+	Remove []string
+}
+
+// persisted is the gob-serialized AM state saved to the store.
+type persisted struct {
+	State   State
+	Seq     int64
+	Pending *pendingState
+}
+
+type pendingState struct {
+	Kind     Kind
+	Add      []string
+	Remove   []string
+	Reported map[string]bool
+}
+
+// AM is the application master of one job. It is safe for concurrent use:
+// the scheduler, new workers and existing workers all call into it.
+type AM struct {
+	jobID string
+	st    *store.Store
+
+	mu      sync.Mutex
+	state   State
+	seq     int64
+	pending *pendingState
+	version int64 // store version for CAS fencing
+}
+
+func amKey(jobID string) string { return "am/" + jobID }
+
+// NewAM creates a fresh AM for jobID, persisting its initial state. It
+// fails if an AM for the job already exists (use Recover instead).
+func NewAM(jobID string, st *store.Store) (*AM, error) {
+	if jobID == "" {
+		return nil, errors.New("coord: empty job ID")
+	}
+	if st == nil {
+		return nil, errors.New("coord: nil store")
+	}
+	am := &AM{jobID: jobID, st: st, state: Idle}
+	blob, err := am.encode()
+	if err != nil {
+		return nil, err
+	}
+	v, err := st.CAS(amKey(jobID), 0, blob)
+	if err != nil {
+		return nil, fmt.Errorf("coord: AM for %q already exists: %w", jobID, err)
+	}
+	am.version = v
+	return am, nil
+}
+
+// Recover reconstructs an AM from its persisted state after a failure. The
+// recovered incarnation takes over the key: any older incarnation still
+// running will fence itself on its next persist.
+func Recover(jobID string, st *store.Store) (*AM, error) {
+	if st == nil {
+		return nil, errors.New("coord: nil store")
+	}
+	e, err := st.Get(amKey(jobID))
+	if err != nil {
+		return nil, fmt.Errorf("coord: recover %q: %w", jobID, err)
+	}
+	var p persisted
+	if err := gob.NewDecoder(bytes.NewReader(e.Value)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("coord: decode AM state: %w", err)
+	}
+	am := &AM{
+		jobID:   jobID,
+		st:      st,
+		state:   p.State,
+		seq:     p.Seq,
+		pending: p.Pending,
+	}
+	// Take over by bumping the version.
+	blob, err := am.encode()
+	if err != nil {
+		return nil, err
+	}
+	v, err := st.CAS(amKey(jobID), e.Version, blob)
+	if err != nil {
+		return nil, fmt.Errorf("coord: takeover race: %w", err)
+	}
+	am.version = v
+	return am, nil
+}
+
+// encode must be called with or without the lock but with a consistent view.
+func (am *AM) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	p := persisted{State: am.state, Seq: am.seq, Pending: am.pending}
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("coord: encode AM state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// persistLocked writes the current state under CAS; callers hold am.mu.
+func (am *AM) persistLocked() error {
+	blob, err := am.encode()
+	if err != nil {
+		return err
+	}
+	v, err := am.st.CAS(amKey(am.jobID), am.version, blob)
+	if err != nil {
+		if errors.Is(err, store.ErrCASFailure) {
+			return ErrFenced
+		}
+		return err
+	}
+	am.version = v
+	return nil
+}
+
+// State returns the current state (for monitoring and tests).
+func (am *AM) State() State {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.state
+}
+
+// Seq returns the number of adjustments performed so far.
+func (am *AM) Seq() int64 {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.seq
+}
+
+// RequestAdjustment is the service API offered to the scheduler (step 1 of
+// the adjustment procedure). add names workers being launched; remove names
+// workers that will leave. If no new workers are required (pure scale-in),
+// the adjustment is immediately Ready.
+func (am *AM) RequestAdjustment(kind Kind, add, remove []string) error {
+	if kind != ScaleOut && kind != ScaleIn && kind != Migrate {
+		return fmt.Errorf("coord: invalid kind %v", kind)
+	}
+	if kind == ScaleOut && len(add) == 0 {
+		return errors.New("coord: scale-out without new workers")
+	}
+	if kind == ScaleIn && len(remove) == 0 {
+		return errors.New("coord: scale-in without removed workers")
+	}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if am.state != Idle {
+		return fmt.Errorf("%w (state=%v)", ErrBusy, am.state)
+	}
+	reported := make(map[string]bool, len(add))
+	for _, w := range add {
+		reported[w] = false
+	}
+	am.pending = &pendingState{
+		Kind:     kind,
+		Add:      append([]string(nil), add...),
+		Remove:   append([]string(nil), remove...),
+		Reported: reported,
+	}
+	if len(add) == 0 {
+		am.state = Ready
+	} else {
+		am.state = Pending
+	}
+	if err := am.persistLocked(); err != nil {
+		// Roll back the in-memory transition so a fenced AM stays inert.
+		am.state = Idle
+		am.pending = nil
+		return err
+	}
+	return nil
+}
+
+// ReportReady records that a newly launched worker finished start and
+// initialization (step 2). When the last pending worker reports, the
+// adjustment becomes Ready.
+func (am *AM) ReportReady(worker string) error {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if am.state != Pending || am.pending == nil {
+		return fmt.Errorf("coord: report from %q in state %v", worker, am.state)
+	}
+	done, ok := am.pending.Reported[worker]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownWorker, worker)
+	}
+	if done {
+		return nil // duplicate report (resend); idempotent
+	}
+	am.pending.Reported[worker] = true
+	for _, v := range am.pending.Reported {
+		if !v {
+			return am.persistLocked()
+		}
+	}
+	am.state = Ready
+	return am.persistLocked()
+}
+
+// Coordinate is called by the existing workers at iteration boundaries
+// (step 3). If an adjustment is Ready it is returned and the AM goes back
+// to Idle; otherwise ok is false and training proceeds immediately — this
+// is what hides worker start and initialization off the critical path.
+func (am *AM) Coordinate() (Adjustment, bool, error) {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if am.state != Ready || am.pending == nil {
+		return Adjustment{}, false, nil
+	}
+	am.seq++
+	adj := Adjustment{
+		Seq:    am.seq,
+		Kind:   am.pending.Kind,
+		Add:    append([]string(nil), am.pending.Add...),
+		Remove: append([]string(nil), am.pending.Remove...),
+	}
+	am.state = Idle
+	am.pending = nil
+	if err := am.persistLocked(); err != nil {
+		return Adjustment{}, false, err
+	}
+	return adj, true, nil
+}
+
+// PendingWorkers returns the not-yet-reported workers of the pending
+// adjustment (for monitoring).
+func (am *AM) PendingWorkers() []string {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if am.pending == nil {
+		return nil
+	}
+	var out []string
+	for _, w := range am.pending.Add {
+		if !am.pending.Reported[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}

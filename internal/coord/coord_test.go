@@ -1,0 +1,233 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/store"
+)
+
+func newAM(t *testing.T) (*AM, *store.Store) {
+	t.Helper()
+	st := store.New()
+	am, err := NewAM("job1", st)
+	if err != nil {
+		t.Fatalf("NewAM: %v", err)
+	}
+	return am, st
+}
+
+func TestNewAMValidation(t *testing.T) {
+	st := store.New()
+	if _, err := NewAM("", st); err == nil {
+		t.Fatal("empty job ID accepted")
+	}
+	if _, err := NewAM("j", nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := NewAM("j", st); err != nil {
+		t.Fatalf("NewAM: %v", err)
+	}
+	if _, err := NewAM("j", st); err == nil {
+		t.Fatal("duplicate AM accepted")
+	}
+}
+
+func TestScaleOutLifecycle(t *testing.T) {
+	am, _ := newAM(t)
+	if am.State() != Idle {
+		t.Fatalf("initial state = %v", am.State())
+	}
+	// Coordinate with nothing pending: keep training.
+	if _, ok, err := am.Coordinate(); ok || err != nil {
+		t.Fatalf("idle Coordinate = %v, %v", ok, err)
+	}
+	if err := am.RequestAdjustment(ScaleOut, []string{"w5", "w6"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if am.State() != Pending {
+		t.Fatalf("state = %v, want Pending", am.State())
+	}
+	// Async property: coordination while workers are starting returns
+	// no-adjustment, training proceeds.
+	if _, ok, err := am.Coordinate(); ok || err != nil {
+		t.Fatalf("pending Coordinate = %v, %v", ok, err)
+	}
+	if err := am.ReportReady("w5"); err != nil {
+		t.Fatalf("ReportReady w5: %v", err)
+	}
+	if am.State() != Pending {
+		t.Fatal("became ready with one of two reports")
+	}
+	if got := am.PendingWorkers(); len(got) != 1 || got[0] != "w6" {
+		t.Fatalf("PendingWorkers = %v", got)
+	}
+	if err := am.ReportReady("w6"); err != nil {
+		t.Fatalf("ReportReady w6: %v", err)
+	}
+	if am.State() != Ready {
+		t.Fatalf("state = %v, want Ready", am.State())
+	}
+	adj, ok, err := am.Coordinate()
+	if err != nil || !ok {
+		t.Fatalf("Coordinate = %v, %v", ok, err)
+	}
+	if adj.Kind != ScaleOut || len(adj.Add) != 2 || adj.Seq != 1 {
+		t.Fatalf("adjustment = %+v", adj)
+	}
+	if am.State() != Idle {
+		t.Fatalf("state after adjustment = %v", am.State())
+	}
+	// Exactly-once: a second coordinate returns nothing.
+	if _, ok, _ := am.Coordinate(); ok {
+		t.Fatal("adjustment delivered twice")
+	}
+}
+
+func TestScaleInImmediatelyReady(t *testing.T) {
+	am, _ := newAM(t)
+	if err := am.RequestAdjustment(ScaleIn, nil, []string{"w3", "w4"}); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if am.State() != Ready {
+		t.Fatalf("scale-in state = %v, want Ready (no new workers to wait for)", am.State())
+	}
+	adj, ok, err := am.Coordinate()
+	if err != nil || !ok || adj.Kind != ScaleIn || len(adj.Remove) != 2 {
+		t.Fatalf("Coordinate = %+v, %v, %v", adj, ok, err)
+	}
+}
+
+func TestMigration(t *testing.T) {
+	am, _ := newAM(t)
+	if err := am.RequestAdjustment(Migrate, []string{"w9"}, []string{"w1"}); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if err := am.ReportReady("w9"); err != nil {
+		t.Fatalf("ReportReady: %v", err)
+	}
+	adj, ok, err := am.Coordinate()
+	if err != nil || !ok {
+		t.Fatalf("Coordinate: %v %v", ok, err)
+	}
+	if adj.Kind != Migrate || adj.Add[0] != "w9" || adj.Remove[0] != "w1" {
+		t.Fatalf("adjustment = %+v", adj)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	am, _ := newAM(t)
+	if err := am.RequestAdjustment(Kind(99), nil, nil); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if err := am.RequestAdjustment(ScaleOut, nil, nil); err == nil {
+		t.Fatal("scale-out without workers accepted")
+	}
+	if err := am.RequestAdjustment(ScaleIn, nil, nil); err == nil {
+		t.Fatal("scale-in without workers accepted")
+	}
+}
+
+func TestBusyRejectsSecondRequest(t *testing.T) {
+	am, _ := newAM(t)
+	if err := am.RequestAdjustment(ScaleOut, []string{"w5"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if err := am.RequestAdjustment(ScaleOut, []string{"w6"}, nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second request = %v, want ErrBusy", err)
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	am, _ := newAM(t)
+	if err := am.ReportReady("w5"); err == nil {
+		t.Fatal("report in Idle accepted")
+	}
+	if err := am.RequestAdjustment(ScaleOut, []string{"w5"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if err := am.ReportReady("stranger"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("unknown worker report = %v", err)
+	}
+	// Duplicate reports (message resends) are idempotent.
+	if err := am.ReportReady("w5"); err != nil {
+		t.Fatalf("ReportReady: %v", err)
+	}
+	if am.State() != Ready {
+		t.Fatal("not ready after last report")
+	}
+}
+
+func TestRecoverAfterFailure(t *testing.T) {
+	am, st := newAM(t)
+	if err := am.RequestAdjustment(ScaleOut, []string{"w5", "w6"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if err := am.ReportReady("w5"); err != nil {
+		t.Fatalf("ReportReady: %v", err)
+	}
+	// AM crashes; a new incarnation recovers from the store.
+	am2, err := Recover("job1", st)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if am2.State() != Pending {
+		t.Fatalf("recovered state = %v, want Pending", am2.State())
+	}
+	if got := am2.PendingWorkers(); len(got) != 1 || got[0] != "w6" {
+		t.Fatalf("recovered pending = %v", got)
+	}
+	// The recovery preserved w5's report.
+	if err := am2.ReportReady("w6"); err != nil {
+		t.Fatalf("ReportReady on recovered AM: %v", err)
+	}
+	adj, ok, err := am2.Coordinate()
+	if err != nil || !ok || len(adj.Add) != 2 {
+		t.Fatalf("Coordinate on recovered AM = %+v, %v, %v", adj, ok, err)
+	}
+}
+
+func TestOldIncarnationFenced(t *testing.T) {
+	am, st := newAM(t)
+	// A new incarnation takes over.
+	if _, err := Recover("job1", st); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// The old incarnation's next mutation is fenced.
+	err := am.RequestAdjustment(ScaleOut, []string{"w5"}, nil)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale AM mutation = %v, want ErrFenced", err)
+	}
+	// And it stayed inert (Idle) so it cannot hand out adjustments.
+	if am.State() != Idle {
+		t.Fatalf("fenced AM state = %v", am.State())
+	}
+}
+
+func TestRecoverMissing(t *testing.T) {
+	if _, err := Recover("ghost", store.New()); err == nil {
+		t.Fatal("recovering a non-existent AM succeeded")
+	}
+	if _, err := Recover("ghost", nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+func TestSeqIncrements(t *testing.T) {
+	am, _ := newAM(t)
+	for i := int64(1); i <= 3; i++ {
+		if err := am.RequestAdjustment(ScaleIn, nil, []string{"w"}); err != nil {
+			t.Fatalf("RequestAdjustment %d: %v", i, err)
+		}
+		adj, ok, err := am.Coordinate()
+		if err != nil || !ok {
+			t.Fatalf("Coordinate %d: %v %v", i, ok, err)
+		}
+		if adj.Seq != i {
+			t.Fatalf("Seq = %d, want %d", adj.Seq, i)
+		}
+	}
+	if am.Seq() != 3 {
+		t.Fatalf("Seq() = %d", am.Seq())
+	}
+}

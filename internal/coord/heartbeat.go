@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HeartbeatMonitor tracks worker liveness for the AM. The paper's fault
+// tolerance (Section V-D) covers the AM itself; in a deployment the AM is
+// also the natural place to notice dead or degraded workers so the
+// scheduler can replace them (the straggler/failure mitigation use case of
+// Section VII). Workers piggyback a heartbeat on their periodic
+// coordination; the monitor reports the ones whose heartbeats lapsed.
+//
+// The monitor takes the clock as a function so simulations can drive it
+// with virtual time.
+type HeartbeatMonitor struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	last map[string]time.Time
+}
+
+// ErrNilClock is returned when constructing a monitor without a clock.
+var ErrNilClock = errors.New("coord: nil clock")
+
+// NewHeartbeatMonitor creates a monitor reading time from now (use
+// time.Now in production).
+func NewHeartbeatMonitor(now func() time.Time) (*HeartbeatMonitor, error) {
+	if now == nil {
+		return nil, ErrNilClock
+	}
+	return &HeartbeatMonitor{now: now, last: make(map[string]time.Time)}, nil
+}
+
+// Beat records a heartbeat from worker.
+func (h *HeartbeatMonitor) Beat(worker string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last[worker] = h.now()
+}
+
+// Forget removes a worker (it left the job deliberately).
+func (h *HeartbeatMonitor) Forget(worker string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.last, worker)
+}
+
+// Tracked returns the monitored workers, sorted.
+func (h *HeartbeatMonitor) Tracked() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.last))
+	for w := range h.last {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expired returns the workers whose last heartbeat is older than ttl,
+// sorted. The scheduler reacts by requesting a replacement adjustment.
+func (h *HeartbeatMonitor) Expired(ttl time.Duration) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	deadline := h.now().Add(-ttl)
+	var out []string
+	for w, at := range h.last {
+		if at.Before(deadline) {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

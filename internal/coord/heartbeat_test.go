@@ -1,0 +1,86 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for heartbeat tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestHeartbeatMonitorBasics(t *testing.T) {
+	if _, err := NewHeartbeatMonitor(nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h, err := NewHeartbeatMonitor(clk.now)
+	if err != nil {
+		t.Fatalf("NewHeartbeatMonitor: %v", err)
+	}
+	h.Beat("w1")
+	h.Beat("w2")
+	if got := h.Tracked(); len(got) != 2 || got[0] != "w1" || got[1] != "w2" {
+		t.Fatalf("Tracked = %v", got)
+	}
+	if got := h.Expired(10 * time.Second); len(got) != 0 {
+		t.Fatalf("fresh workers expired: %v", got)
+	}
+	// w1 keeps beating, w2 goes silent.
+	clk.advance(8 * time.Second)
+	h.Beat("w1")
+	clk.advance(8 * time.Second)
+	got := h.Expired(10 * time.Second)
+	if len(got) != 1 || got[0] != "w2" {
+		t.Fatalf("Expired = %v, want [w2]", got)
+	}
+	// A worker that leaves deliberately is forgotten, not reported dead.
+	h.Forget("w2")
+	if got := h.Expired(10 * time.Second); len(got) != 0 {
+		t.Fatalf("forgotten worker reported: %v", got)
+	}
+}
+
+func TestHeartbeatDrivesReplacement(t *testing.T) {
+	// The failure-mitigation loop: a worker stops heartbeating; the
+	// scheduler requests a migration-style replacement through the AM.
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	h, err := NewHeartbeatMonitor(clk.now)
+	if err != nil {
+		t.Fatalf("NewHeartbeatMonitor: %v", err)
+	}
+	am, _ := newAM(t)
+	workers := []string{"w1", "w2", "w3"}
+	for _, w := range workers {
+		h.Beat(w)
+	}
+	clk.advance(5 * time.Second)
+	h.Beat("w1")
+	h.Beat("w2") // w3 died
+	clk.advance(6 * time.Second)
+	dead := h.Expired(10 * time.Second)
+	if len(dead) != 1 || dead[0] != "w3" {
+		t.Fatalf("dead = %v", dead)
+	}
+	// Replace the dead worker: migrate w3's rank to w4.
+	if err := am.RequestAdjustment(Migrate, []string{"w4"}, dead); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	if err := am.ReportReady("w4"); err != nil {
+		t.Fatalf("ReportReady: %v", err)
+	}
+	adj, ok, err := am.Coordinate()
+	if err != nil || !ok {
+		t.Fatalf("Coordinate: %v %v", ok, err)
+	}
+	if adj.Kind != Migrate || adj.Remove[0] != "w3" || adj.Add[0] != "w4" {
+		t.Fatalf("adjustment = %+v", adj)
+	}
+	h.Forget("w3")
+	h.Beat("w4")
+	if got := h.Expired(10 * time.Second); len(got) != 0 {
+		t.Fatalf("post-replacement expired = %v", got)
+	}
+}

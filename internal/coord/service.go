@@ -1,0 +1,170 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/elan-sys/elan/internal/transport"
+)
+
+// This file exposes the AM over the transport layer, giving the paper's
+// Service API (Table III) a real message-passing implementation: the
+// scheduler and workers interact with the AM only through reliable,
+// deduplicated messages, never shared memory. Message kinds:
+//
+//	adjust.request   scheduler -> AM    RequestAdjustment
+//	worker.report    new worker -> AM   ReportReady
+//	worker.coord     existing -> AM     Coordinate
+//	am.state         anyone -> AM       State/Seq inspection
+
+// Message kinds understood by the AM service.
+const (
+	KindAdjustRequest = "adjust.request"
+	KindWorkerReport  = "worker.report"
+	KindCoordinate    = "worker.coord"
+	KindAMState       = "am.state"
+)
+
+// AdjustRequestMsg is the payload of adjust.request.
+type AdjustRequestMsg struct {
+	Kind   Kind     `json:"kind"`
+	Add    []string `json:"add"`
+	Remove []string `json:"remove"`
+}
+
+// ReportMsg is the payload of worker.report.
+type ReportMsg struct {
+	Worker string `json:"worker"`
+}
+
+// CoordReplyMsg is the reply to worker.coord.
+type CoordReplyMsg struct {
+	HasAdjustment bool       `json:"hasAdjustment"`
+	Adjustment    Adjustment `json:"adjustment"`
+}
+
+// StateReplyMsg is the reply to am.state.
+type StateReplyMsg struct {
+	State   State    `json:"state"`
+	Seq     int64    `json:"seq"`
+	Pending []string `json:"pending"`
+}
+
+// Service binds an AM to a bus endpoint.
+type Service struct {
+	am *AM
+	ep *transport.Endpoint
+}
+
+// NewService registers the AM at name on the bus and starts serving.
+func NewService(am *AM, bus *transport.Bus, name string) (*Service, error) {
+	if am == nil {
+		return nil, fmt.Errorf("coord: nil AM")
+	}
+	s := &Service{am: am}
+	ep, err := bus.Endpoint(name, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("coord: register service: %w", err)
+	}
+	s.ep = ep
+	return s, nil
+}
+
+func (s *Service) handle(m transport.Message) ([]byte, error) {
+	switch m.Kind {
+	case KindAdjustRequest:
+		var req AdjustRequestMsg
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			return nil, fmt.Errorf("coord: bad adjust.request: %w", err)
+		}
+		if err := s.am.RequestAdjustment(req.Kind, req.Add, req.Remove); err != nil {
+			return nil, err
+		}
+		return []byte(`{}`), nil
+	case KindWorkerReport:
+		var req ReportMsg
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			return nil, fmt.Errorf("coord: bad worker.report: %w", err)
+		}
+		if err := s.am.ReportReady(req.Worker); err != nil {
+			return nil, err
+		}
+		return []byte(`{}`), nil
+	case KindCoordinate:
+		adj, ok, err := s.am.Coordinate()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(CoordReplyMsg{HasAdjustment: ok, Adjustment: adj})
+	case KindAMState:
+		return json.Marshal(StateReplyMsg{
+			State:   s.am.State(),
+			Seq:     s.am.Seq(),
+			Pending: s.am.PendingWorkers(),
+		})
+	default:
+		return nil, fmt.Errorf("coord: unknown message kind %q", m.Kind)
+	}
+}
+
+// Client is the worker/scheduler side of the AM service.
+type Client struct {
+	ep     *transport.Endpoint
+	amName string
+}
+
+// NewClient creates a client endpoint named name talking to the AM at
+// amName on the same bus.
+func NewClient(bus *transport.Bus, name, amName string) (*Client, error) {
+	ep, err := bus.Endpoint(name, nil)
+	if err != nil {
+		return nil, fmt.Errorf("coord: client endpoint: %w", err)
+	}
+	return &Client{ep: ep, amName: amName}, nil
+}
+
+// RequestAdjustment calls the AM's service API over the bus.
+func (c *Client) RequestAdjustment(kind Kind, add, remove []string) error {
+	payload, err := json.Marshal(AdjustRequestMsg{Kind: kind, Add: add, Remove: remove})
+	if err != nil {
+		return err
+	}
+	_, err = c.ep.Call(c.amName, KindAdjustRequest, payload)
+	return err
+}
+
+// ReportReady reports this client's worker as started and initialized.
+func (c *Client) ReportReady(worker string) error {
+	payload, err := json.Marshal(ReportMsg{Worker: worker})
+	if err != nil {
+		return err
+	}
+	_, err = c.ep.Call(c.amName, KindWorkerReport, payload)
+	return err
+}
+
+// Coordinate polls the AM for a pending adjustment.
+func (c *Client) Coordinate() (Adjustment, bool, error) {
+	out, err := c.ep.Call(c.amName, KindCoordinate, nil)
+	if err != nil {
+		return Adjustment{}, false, err
+	}
+	var reply CoordReplyMsg
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return Adjustment{}, false, fmt.Errorf("coord: bad coord reply: %w", err)
+	}
+	return reply.Adjustment, reply.HasAdjustment, nil
+}
+
+// AMState fetches the AM's state for monitoring.
+func (c *Client) AMState() (StateReplyMsg, error) {
+	out, err := c.ep.Call(c.amName, KindAMState, nil)
+	if err != nil {
+		return StateReplyMsg{}, err
+	}
+	var reply StateReplyMsg
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return StateReplyMsg{}, fmt.Errorf("coord: bad state reply: %w", err)
+	}
+	return reply, nil
+}

@@ -1,0 +1,139 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/transport"
+)
+
+func setupService(t *testing.T, cfg transport.BusConfig) (*transport.Bus, *AM) {
+	t.Helper()
+	bus := transport.NewBus(cfg)
+	am, err := NewAM("job1", store.New())
+	if err != nil {
+		t.Fatalf("NewAM: %v", err)
+	}
+	if _, err := NewService(am, bus, "am"); err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return bus, am
+}
+
+func TestServiceFullAdjustmentOverBus(t *testing.T) {
+	bus, _ := setupService(t, transport.DefaultBusConfig())
+	sched, err := NewClient(bus, "scheduler", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	w5, err := NewClient(bus, "w5", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	existing, err := NewClient(bus, "w1", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	if err := sched.RequestAdjustment(ScaleOut, []string{"w5"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	// Existing worker coordinates before the new worker reported: no
+	// adjustment, no blocking.
+	if _, ok, err := existing.Coordinate(); ok || err != nil {
+		t.Fatalf("early Coordinate = %v, %v", ok, err)
+	}
+	st, err := existing.AMState()
+	if err != nil {
+		t.Fatalf("AMState: %v", err)
+	}
+	if st.State != Pending || len(st.Pending) != 1 {
+		t.Fatalf("AMState = %+v", st)
+	}
+	if err := w5.ReportReady("w5"); err != nil {
+		t.Fatalf("ReportReady: %v", err)
+	}
+	adj, ok, err := existing.Coordinate()
+	if err != nil || !ok {
+		t.Fatalf("Coordinate = %v, %v", ok, err)
+	}
+	if adj.Kind != ScaleOut || adj.Add[0] != "w5" {
+		t.Fatalf("adjustment = %+v", adj)
+	}
+}
+
+func TestServiceSurvivesMessageLoss(t *testing.T) {
+	cfg := transport.DefaultBusConfig()
+	cfg.DropRate = 0.3
+	cfg.Seed = 99
+	cfg.AckTimeout = 5 * time.Millisecond
+	cfg.MaxRetries = 60
+	bus, am := setupService(t, cfg)
+	sched, err := NewClient(bus, "scheduler", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	w5, err := NewClient(bus, "w5", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := sched.RequestAdjustment(ScaleOut, []string{"w5"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment under loss: %v", err)
+	}
+	if err := w5.ReportReady("w5"); err != nil {
+		t.Fatalf("ReportReady under loss: %v", err)
+	}
+	if am.State() != Ready {
+		t.Fatalf("state = %v, want Ready", am.State())
+	}
+	// Despite resends, the adjustment is delivered exactly once.
+	existing, err := NewClient(bus, "w1", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var delivered int
+	for i := 0; i < 5; i++ {
+		_, ok, err := existing.Coordinate()
+		if err != nil {
+			t.Fatalf("Coordinate: %v", err)
+		}
+		if ok {
+			delivered++
+		}
+	}
+	if delivered != 1 {
+		t.Fatalf("adjustment delivered %d times, want 1", delivered)
+	}
+}
+
+func TestServiceErrorsPropagate(t *testing.T) {
+	bus, _ := setupService(t, transport.DefaultBusConfig())
+	sched, err := NewClient(bus, "scheduler", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	// Invalid request: scale-out without workers.
+	if err := sched.RequestAdjustment(ScaleOut, nil, nil); err == nil {
+		t.Fatal("invalid request accepted over bus")
+	}
+	// Report for a worker not in any adjustment.
+	w9, err := NewClient(bus, "w9", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := w9.ReportReady("w9"); err == nil {
+		t.Fatal("stray report accepted")
+	}
+}
+
+func TestServiceUnknownKind(t *testing.T) {
+	bus, _ := setupService(t, transport.DefaultBusConfig())
+	client, err := NewClient(bus, "x", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := client.ep.Call("am", "bogus.kind", nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

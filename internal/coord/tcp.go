@@ -1,0 +1,143 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/elan-sys/elan/internal/transport"
+)
+
+// This file exposes the AM service over real TCP, demonstrating that the
+// coordination protocol is transport-independent: the same message kinds
+// (adjust.request, worker.report, worker.coord, am.state) flow over a
+// gob-framed TCP connection instead of the in-process bus. A scheduler
+// outside the training job's process — the deployment the paper describes —
+// talks to the AM this way. Clients dial per call, so they transparently
+// reconnect across AM restarts (the ZeroMQ property), and combined with the
+// AM state machine's persistence a restarted AM resumes where it stopped.
+
+// TCPService serves an AM over TCP.
+type TCPService struct {
+	am  *AM
+	srv *transport.Server
+	// Addr is the bound address after Start.
+	Addr string
+}
+
+// NewTCPService starts serving am on addr ("127.0.0.1:0" for ephemeral).
+func NewTCPService(am *AM, addr string) (*TCPService, error) {
+	if am == nil {
+		return nil, fmt.Errorf("coord: nil AM")
+	}
+	s := &TCPService{am: am}
+	s.srv = transport.NewServer(s.handle)
+	bound, err := s.srv.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("coord: tcp service: %w", err)
+	}
+	s.Addr = bound
+	return s, nil
+}
+
+// Close stops the server.
+func (s *TCPService) Close() { s.srv.Close() }
+
+func (s *TCPService) handle(m transport.Message) ([]byte, error) {
+	switch m.Kind {
+	case KindAdjustRequest:
+		var req AdjustRequestMsg
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			return nil, fmt.Errorf("coord: bad adjust.request: %w", err)
+		}
+		if err := s.am.RequestAdjustment(req.Kind, req.Add, req.Remove); err != nil {
+			return nil, err
+		}
+		return []byte(`{}`), nil
+	case KindWorkerReport:
+		var req ReportMsg
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			return nil, fmt.Errorf("coord: bad worker.report: %w", err)
+		}
+		if err := s.am.ReportReady(req.Worker); err != nil {
+			return nil, err
+		}
+		return []byte(`{}`), nil
+	case KindCoordinate:
+		adj, ok, err := s.am.Coordinate()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(CoordReplyMsg{HasAdjustment: ok, Adjustment: adj})
+	case KindAMState:
+		return json.Marshal(StateReplyMsg{
+			State:   s.am.State(),
+			Seq:     s.am.Seq(),
+			Pending: s.am.PendingWorkers(),
+		})
+	default:
+		return nil, fmt.Errorf("coord: unknown message kind %q", m.Kind)
+	}
+}
+
+// TCPClient talks to a TCPService.
+type TCPClient struct {
+	addr    string
+	timeout time.Duration
+	retries int
+}
+
+// NewTCPClient creates a client for the AM at addr.
+func NewTCPClient(addr string) *TCPClient {
+	return &TCPClient{addr: addr, timeout: 2 * time.Second, retries: 5}
+}
+
+func (c *TCPClient) call(kind string, payload []byte) ([]byte, error) {
+	return transport.CallRetry(c.addr, kind, payload, c.timeout, c.retries)
+}
+
+// RequestAdjustment invokes the service API over TCP.
+func (c *TCPClient) RequestAdjustment(kind Kind, add, remove []string) error {
+	payload, err := json.Marshal(AdjustRequestMsg{Kind: kind, Add: add, Remove: remove})
+	if err != nil {
+		return err
+	}
+	_, err = c.call(KindAdjustRequest, payload)
+	return err
+}
+
+// ReportReady reports a worker as started and initialized.
+func (c *TCPClient) ReportReady(worker string) error {
+	payload, err := json.Marshal(ReportMsg{Worker: worker})
+	if err != nil {
+		return err
+	}
+	_, err = c.call(KindWorkerReport, payload)
+	return err
+}
+
+// Coordinate polls for a pending adjustment.
+func (c *TCPClient) Coordinate() (Adjustment, bool, error) {
+	out, err := c.call(KindCoordinate, nil)
+	if err != nil {
+		return Adjustment{}, false, err
+	}
+	var reply CoordReplyMsg
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return Adjustment{}, false, fmt.Errorf("coord: bad coord reply: %w", err)
+	}
+	return reply.Adjustment, reply.HasAdjustment, nil
+}
+
+// AMState fetches the AM's state.
+func (c *TCPClient) AMState() (StateReplyMsg, error) {
+	out, err := c.call(KindAMState, nil)
+	if err != nil {
+		return StateReplyMsg{}, err
+	}
+	var reply StateReplyMsg
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return StateReplyMsg{}, fmt.Errorf("coord: bad state reply: %w", err)
+	}
+	return reply, nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/elan-sys/elan/internal/coord"
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/perfmodel"
+	"github.com/elan-sys/elan/internal/replication"
+	"github.com/elan-sys/elan/internal/scaling"
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+// Job is a simulated elastic data-parallel training job managed by Elan.
+// Its timing is produced by the calibrated cost models, which lets the
+// adjustment-performance experiments run thousands of adjustments in
+// milliseconds of wall time.
+type Job struct {
+	Model      models.Model
+	Cluster    *topology.Cluster
+	Perf       *perfmodel.Perf
+	Costs      SystemCosts
+	Mech       *scaling.Mechanism
+	Workers    []topology.GPUID
+	TotalBatch int
+	LR         float64
+	// CoordInterval is how many iterations pass between coordinations.
+	CoordInterval int
+
+	rng  *rand.Rand
+	iter int64
+}
+
+// JobConfig constructs a Job.
+type JobConfig struct {
+	Model         models.Model
+	Cluster       *topology.Cluster
+	Perf          *perfmodel.Perf
+	Costs         SystemCosts
+	Mech          *scaling.Mechanism
+	Workers       []topology.GPUID
+	TotalBatch    int
+	LR            float64
+	CoordInterval int
+	Seed          int64
+}
+
+// NewJob validates the configuration and builds a Job.
+func NewJob(cfg JobConfig) (*Job, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("core: nil cluster")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("core: job needs at least one worker")
+	}
+	if cfg.TotalBatch <= 0 || cfg.TotalBatch%len(cfg.Workers) != 0 {
+		return nil, fmt.Errorf("core: total batch %d not divisible by %d workers",
+			cfg.TotalBatch, len(cfg.Workers))
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("core: non-positive learning rate %v", cfg.LR)
+	}
+	if cfg.Perf == nil {
+		cfg.Perf = perfmodel.Default()
+	}
+	if cfg.Mech == nil {
+		m, err := scaling.New(scaling.Config{Perf: cfg.Perf})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mech = m
+	}
+	if cfg.CoordInterval <= 0 {
+		cfg.CoordInterval = 1
+	}
+	if cfg.Costs == (SystemCosts{}) {
+		cfg.Costs = DefaultSystemCosts()
+	}
+	workers := append([]topology.GPUID(nil), cfg.Workers...)
+	return &Job{
+		Model:         cfg.Model,
+		Cluster:       cfg.Cluster,
+		Perf:          cfg.Perf,
+		Costs:         cfg.Costs,
+		Mech:          cfg.Mech,
+		Workers:       workers,
+		TotalBatch:    cfg.TotalBatch,
+		LR:            cfg.LR,
+		CoordInterval: cfg.CoordInterval,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// NumWorkers returns the current worker count.
+func (j *Job) NumWorkers() int { return len(j.Workers) }
+
+// IterTime returns the current per-iteration time (without coordination).
+func (j *Job) IterTime() (time.Duration, error) {
+	return j.Perf.IterTime(j.Model, len(j.Workers), j.TotalBatch/len(j.Workers))
+}
+
+// Throughput returns the current training throughput in samples/sec,
+// accounting for the amortized coordination overhead.
+func (j *Job) Throughput() (float64, error) {
+	it, err := j.IterTime()
+	if err != nil {
+		return 0, err
+	}
+	coordPer := time.Duration(float64(j.Costs.CoordBase+
+		time.Duration(len(j.Workers))*j.Costs.CoordPerWorker) / float64(j.CoordInterval))
+	return float64(j.TotalBatch) / (it + coordPer).Seconds(), nil
+}
+
+// RuntimeOverhead returns the relative throughput loss due to elasticity
+// maintenance (the Figure 14 metric): coordination time divided by the
+// iteration time, amortized over the coordination interval.
+func (j *Job) RuntimeOverhead() (float64, error) {
+	it, err := j.IterTime()
+	if err != nil {
+		return 0, err
+	}
+	coord := j.Costs.CoordBase + time.Duration(len(j.Workers))*j.Costs.CoordPerWorker
+	per := float64(coord) / float64(j.CoordInterval)
+	return per / float64(it), nil
+}
+
+// AdjustmentReport describes one resource adjustment.
+type AdjustmentReport struct {
+	Kind coord.Kind
+	// Pause is the time training stood still — the paper's Figure 15
+	// metric. For Elan this excludes new-worker start/init (hidden by the
+	// asynchronous coordination mechanism).
+	Pause time.Duration
+	// HiddenStartInit is the start+initialization time that overlapped with
+	// training (zero for baselines that pay it on the critical path).
+	HiddenStartInit time.Duration
+	// Breakdown itemizes the pause.
+	Breakdown []Phase
+	// Decision records what the hybrid scaling mechanism chose.
+	Decision scaling.Decision
+}
+
+// Phase is one component of an adjustment pause.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+func (r *AdjustmentReport) add(name string, d time.Duration) {
+	r.Breakdown = append(r.Breakdown, Phase{Name: name, Duration: d})
+	r.Pause += d
+}
+
+// ScaleOut grows the job onto the additional GPUs using Elan's mechanisms:
+// start/init of the new workers overlaps training; the pause is one
+// coordination, the concurrent topology-aware replication, the data
+// repartition and the communicator reconstruction. The hybrid scaling
+// mechanism picks the new total batch size and learning-rate target.
+func (j *Job) ScaleOut(add []topology.GPUID) (AdjustmentReport, error) {
+	if len(add) == 0 {
+		return AdjustmentReport{}, fmt.Errorf("core: scale-out with no GPUs")
+	}
+	newWorkers := len(j.Workers) + len(add)
+	dec, err := j.Mech.Decide(j.Model, len(j.Workers), j.TotalBatch, newWorkers, j.LR)
+	if err != nil {
+		return AdjustmentReport{}, fmt.Errorf("core: hybrid scaling: %w", err)
+	}
+	plan, err := replication.NewPlan(j.Workers, add, j.Model.GPUStateBytes(), j.Model.CPUStateBytes)
+	if err != nil {
+		return AdjustmentReport{}, err
+	}
+	rep := AdjustmentReport{Kind: coord.ScaleOut, Decision: dec}
+	// Start+init of new workers happens off the critical path: record the
+	// hidden cost (max over workers starting in parallel).
+	var hidden time.Duration
+	for range add {
+		if t := j.Costs.StartInitTime(j.rng); t > hidden {
+			hidden = t
+		}
+	}
+	rep.HiddenStartInit = hidden
+	rep.add("coordinate", j.Costs.CoordTime(j.rng, len(j.Workers)))
+	rep.add("replicate", j.Costs.sample(j.rng, plan.Duration(j.Cluster)))
+	rep.add("repartition", j.Costs.sample(j.rng, j.Costs.Repartition))
+	rep.add("group-reconstruct", j.Costs.GroupReconstructTime(j.rng, newWorkers))
+
+	j.Workers = append(j.Workers, add...)
+	j.TotalBatch = dec.TotalBatch
+	j.LR = dec.TargetLR
+	return rep, nil
+}
+
+// ScaleIn shrinks the job by removing the given GPUs. No state movement is
+// needed (every survivor holds a full copy); the pause is coordination,
+// repartition and communicator reconstruction.
+func (j *Job) ScaleIn(remove []topology.GPUID) (AdjustmentReport, error) {
+	if len(remove) == 0 {
+		return AdjustmentReport{}, fmt.Errorf("core: scale-in with no GPUs")
+	}
+	if len(remove) >= len(j.Workers) {
+		return AdjustmentReport{}, fmt.Errorf("core: scale-in would remove all %d workers", len(j.Workers))
+	}
+	removeSet := make(map[topology.GPUID]bool, len(remove))
+	for _, g := range remove {
+		removeSet[g] = true
+	}
+	var survivors []topology.GPUID
+	for _, w := range j.Workers {
+		if !removeSet[w] {
+			survivors = append(survivors, w)
+		}
+	}
+	if len(survivors)+len(remove) != len(j.Workers) {
+		return AdjustmentReport{}, fmt.Errorf("core: scale-in GPUs not all part of the job")
+	}
+	dec, err := j.Mech.Decide(j.Model, len(j.Workers), j.TotalBatch, len(survivors), j.LR)
+	if err != nil {
+		return AdjustmentReport{}, fmt.Errorf("core: hybrid scaling: %w", err)
+	}
+	rep := AdjustmentReport{Kind: coord.ScaleIn, Decision: dec}
+	rep.add("coordinate", j.Costs.CoordTime(j.rng, len(j.Workers)))
+	rep.add("repartition", j.Costs.sample(j.rng, j.Costs.Repartition))
+	rep.add("group-reconstruct", j.Costs.GroupReconstructTime(j.rng, len(survivors)))
+	j.Workers = survivors
+	j.TotalBatch = dec.TotalBatch
+	j.LR = dec.TargetLR
+	return rep, nil
+}
+
+// Replace swaps a single worker for a new GPU — the straggler-mitigation
+// primitive: when one device degrades, its rank is moved to a healthy GPU
+// while the rest of the job keeps its placement. State for the replacement
+// comes from the nearest surviving worker; the pause is one coordination,
+// one replication, repartition and group reconstruction, like a one-worker
+// migration. The batch size and learning rate are untouched.
+func (j *Job) Replace(old, new topology.GPUID) (AdjustmentReport, error) {
+	idx := -1
+	for i, w := range j.Workers {
+		if w == old {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return AdjustmentReport{}, fmt.Errorf("core: worker %v not part of the job", old)
+	}
+	survivors := make([]topology.GPUID, 0, len(j.Workers)-1)
+	for i, w := range j.Workers {
+		if i != idx {
+			survivors = append(survivors, w)
+		}
+	}
+	if len(survivors) == 0 {
+		return AdjustmentReport{}, fmt.Errorf("core: cannot replace the only worker")
+	}
+	plan, err := replication.NewPlan(survivors, []topology.GPUID{new},
+		j.Model.GPUStateBytes(), j.Model.CPUStateBytes)
+	if err != nil {
+		return AdjustmentReport{}, err
+	}
+	rep := AdjustmentReport{Kind: coord.Migrate}
+	rep.HiddenStartInit = j.Costs.StartInitTime(j.rng)
+	rep.add("coordinate", j.Costs.CoordTime(j.rng, len(j.Workers)))
+	rep.add("replicate", j.Costs.sample(j.rng, plan.Duration(j.Cluster)))
+	rep.add("repartition", j.Costs.sample(j.rng, j.Costs.Repartition))
+	rep.add("group-reconstruct", j.Costs.GroupReconstructTime(j.rng, len(j.Workers)))
+	j.Workers[idx] = new
+	return rep, nil
+}
+
+// Migrate moves the job to an entirely new worker set of the same size.
+// State is replicated from the old workers to the new ones concurrently;
+// old workers are released afterwards (their shutdown is off the critical
+// path).
+func (j *Job) Migrate(dest []topology.GPUID) (AdjustmentReport, error) {
+	if len(dest) == 0 {
+		return AdjustmentReport{}, fmt.Errorf("core: migrate to empty worker set")
+	}
+	dec, err := j.Mech.Decide(j.Model, len(j.Workers), j.TotalBatch, len(dest), j.LR)
+	if err != nil {
+		return AdjustmentReport{}, fmt.Errorf("core: hybrid scaling: %w", err)
+	}
+	plan, err := replication.NewPlan(j.Workers, dest, j.Model.GPUStateBytes(), j.Model.CPUStateBytes)
+	if err != nil {
+		return AdjustmentReport{}, err
+	}
+	rep := AdjustmentReport{Kind: coord.Migrate, Decision: dec}
+	var hidden time.Duration
+	for range dest {
+		if t := j.Costs.StartInitTime(j.rng); t > hidden {
+			hidden = t
+		}
+	}
+	rep.HiddenStartInit = hidden
+	rep.add("coordinate", j.Costs.CoordTime(j.rng, len(j.Workers)))
+	rep.add("replicate", j.Costs.sample(j.rng, plan.Duration(j.Cluster)))
+	rep.add("repartition", j.Costs.sample(j.rng, j.Costs.Repartition))
+	rep.add("group-reconstruct", j.Costs.GroupReconstructTime(j.rng, len(dest)))
+	j.Workers = append([]topology.GPUID(nil), dest...)
+	j.TotalBatch = dec.TotalBatch
+	j.LR = dec.TargetLR
+	return rep, nil
+}

@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/elan-sys/elan/internal/collective"
+	"github.com/elan-sys/elan/internal/coord"
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/nn"
+	"github.com/elan-sys/elan/internal/replication"
+	"github.com/elan-sys/elan/internal/scaling"
+	"github.com/elan-sys/elan/internal/store"
+)
+
+// LiveJob is real elastic data-parallel training: every worker holds its own
+// replica of a pure-Go MLP, computes gradients on its shard of the batch,
+// averages them with a genuine ring allreduce across goroutines, and steps
+// its local optimizer. Resource adjustments perform the paper's full
+// procedure with real data movement: the AM coordinates, training state
+// (parameters, optimizer velocity, data-loader cursor, iteration counter)
+// is replicated from nearest sources per the replication plan, the
+// communication group is reconstructed, and the serial loader repartitions.
+//
+// LiveJob is the substrate of the accuracy experiments: large-batch
+// degradation and the progressive linear scaling rule act on genuine SGD.
+type LiveJob struct {
+	mu sync.Mutex
+
+	dataset  *data.Dataset
+	layers   []int
+	momentum float64
+
+	workers []*liveWorker
+	group   *collective.Group
+	loader  *data.SerialLoader
+	am      *coord.AM
+	copier  *replication.Copier
+
+	iter     int
+	tbs      int
+	lrSched  *scaling.LRSchedule
+	seed     int64
+	nextName int
+}
+
+// liveWorker is one data-parallel replica.
+type liveWorker struct {
+	name string
+	net  *nn.MLP
+	opt  *nn.SGD
+}
+
+// LiveConfig configures a LiveJob.
+type LiveConfig struct {
+	// Dataset to train on (required).
+	Dataset *data.Dataset
+	// LayerSizes is the MLP architecture, e.g. {features, 64, 64, classes}.
+	LayerSizes []int
+	// Workers is the initial worker count.
+	Workers int
+	// TotalBatch is the initial total batch size; must be divisible by
+	// Workers.
+	TotalBatch int
+	// LR and Momentum configure SGD.
+	LR       float64
+	Momentum float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// NewLiveJob builds the job, initializes identical replicas on all workers
+// and registers the state-replication hooks.
+func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("core: non-positive worker count %d", cfg.Workers)
+	}
+	if cfg.TotalBatch <= 0 || cfg.TotalBatch%cfg.Workers != 0 {
+		return nil, fmt.Errorf("core: total batch %d not divisible by %d workers",
+			cfg.TotalBatch, cfg.Workers)
+	}
+	if len(cfg.LayerSizes) < 2 {
+		return nil, fmt.Errorf("core: need at least input and output layer sizes")
+	}
+	if cfg.LayerSizes[0] != cfg.Dataset.Features {
+		return nil, fmt.Errorf("core: input size %d != dataset features %d",
+			cfg.LayerSizes[0], cfg.Dataset.Features)
+	}
+	if cfg.LayerSizes[len(cfg.LayerSizes)-1] != cfg.Dataset.Classes {
+		return nil, fmt.Errorf("core: output size %d != dataset classes %d",
+			cfg.LayerSizes[len(cfg.LayerSizes)-1], cfg.Dataset.Classes)
+	}
+	lrSched, err := scaling.NewLRSchedule(cfg.LR, cfg.LR, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := data.NewSerialLoader(cfg.Dataset.N())
+	if err != nil {
+		return nil, err
+	}
+	group, err := collective.NewGroup(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	am, err := coord.NewAM("live-job", store.New())
+	if err != nil {
+		return nil, err
+	}
+	lj := &LiveJob{
+		dataset:  cfg.Dataset,
+		layers:   append([]int(nil), cfg.LayerSizes...),
+		momentum: cfg.Momentum,
+		group:    group,
+		loader:   loader,
+		am:       am,
+		tbs:      cfg.TotalBatch,
+		lrSched:  lrSched,
+		seed:     cfg.Seed,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := lj.buildWorker(cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		lj.workers = append(lj.workers, w)
+	}
+	lj.registerHooks()
+	return lj, nil
+}
+
+// buildWorker constructs a replica. All replicas are built from the same
+// seed so initial parameters are identical across workers — the data-
+// parallel invariant. Newly added workers are built the same way and then
+// overwritten by state replication.
+func (lj *LiveJob) buildWorker(lr float64) (*liveWorker, error) {
+	rng := rand.New(rand.NewSource(lj.seed))
+	net, err := nn.NewMLP(rng, lj.layers)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(net.Params(), lr, lj.momentum)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("w%d", lj.nextName)
+	lj.nextName++
+	return &liveWorker{name: name, net: net, opt: opt}, nil
+}
+
+// registerHooks installs the paper's hook API: one hook per state kind
+// (Table II). GPU-resident state: model parameters and optimizer velocity;
+// CPU-resident state: the data cursor and iteration counter are global to
+// the job (held by the loader and the job itself), so their "replication"
+// is a no-op recorded for completeness.
+func (lj *LiveJob) registerHooks() {
+	lj.copier = replication.NewCopier()
+	// Errors are impossible here (non-empty kinds, non-nil funcs).
+	_ = lj.copier.RegisterHook(replication.Hook{
+		Kind: "model", OnGPU: true,
+		Copy: func(src, dst int) error {
+			return lj.workers[dst].net.LoadParams(lj.workers[src].net.FlattenParams(nil))
+		},
+	})
+	_ = lj.copier.RegisterHook(replication.Hook{
+		Kind: "optimizer", OnGPU: true,
+		Copy: func(src, dst int) error {
+			return lj.workers[dst].opt.LoadState(lj.workers[src].opt.FlattenState(nil))
+		},
+	})
+	_ = lj.copier.RegisterHook(replication.Hook{
+		Kind: "data", OnGPU: false,
+		Copy: func(src, dst int) error { return nil }, // loader cursor is job-global
+	})
+	_ = lj.copier.RegisterHook(replication.Hook{
+		Kind: "runtime", OnGPU: false,
+		Copy: func(src, dst int) error {
+			lj.workers[dst].opt.LR = lj.workers[src].opt.LR
+			return nil
+		},
+	})
+}
+
+// NumWorkers returns the current worker count.
+func (lj *LiveJob) NumWorkers() int {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return len(lj.workers)
+}
+
+// TotalBatch returns the current total batch size.
+func (lj *LiveJob) TotalBatch() int {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return lj.tbs
+}
+
+// Iteration returns the number of completed steps.
+func (lj *LiveJob) Iteration() int {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return lj.iter
+}
+
+// LR returns the learning rate the next step will use.
+func (lj *LiveJob) LR() float64 {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return lj.lrSched.At(lj.iter)
+}
+
+// Step runs one synchronous data-parallel training iteration and returns
+// the mean loss across workers. Each worker runs on its own goroutine and
+// gradients are combined with a real ring allreduce.
+func (lj *LiveJob) Step() (float64, error) {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return lj.stepLocked()
+}
+
+func (lj *LiveJob) stepLocked() (float64, error) {
+	n := len(lj.workers)
+	perWorker := lj.tbs / n
+	if perWorker == 0 {
+		return 0, fmt.Errorf("core: total batch %d too small for %d workers", lj.tbs, n)
+	}
+	lr := lj.lrSched.At(lj.iter)
+
+	// Assign data shards (serial semantics).
+	type shard struct{ lo, hi int }
+	shards := make([]shard, n)
+	for w := 0; w < n; w++ {
+		lo, hi, err := lj.loader.NextBatch(w, n, perWorker)
+		if err != nil {
+			return 0, err
+		}
+		shards[w] = shard{lo: lo, hi: hi}
+	}
+
+	losses := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := lj.workers[w]
+			x, y, err := lj.dataset.Batch(shards[w].lo, shards[w].hi)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			worker.net.ZeroGrads()
+			out, err := worker.net.Forward(x)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			losses[w] = loss
+			if err := worker.net.Backward(grad); err != nil {
+				errs[w] = err
+				return
+			}
+			flat := worker.net.FlattenGrads(nil)
+			if err := lj.group.AllReduceMean(w, flat); err != nil {
+				errs[w] = err
+				return
+			}
+			if err := worker.net.LoadGrads(flat); err != nil {
+				errs[w] = err
+				return
+			}
+			worker.opt.LR = lr
+			errs[w] = worker.opt.Step(worker.net.Params(), worker.net.Grads())
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	lj.iter++
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(n), nil
+}
+
+// SetTotalBatch changes the total batch size (the AdaBatch-style dynamic
+// batch algorithm calls this). If progressive is true the learning rate
+// ramps linearly to lr*k over rampIters iterations (the progressive linear
+// scaling rule); otherwise it jumps immediately (the ablation).
+func (lj *LiveJob) SetTotalBatch(tbs, rampIters int, progressive bool) error {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	if tbs <= 0 || tbs%len(lj.workers) != 0 {
+		return fmt.Errorf("core: total batch %d not divisible by %d workers", tbs, len(lj.workers))
+	}
+	k := float64(tbs) / float64(lj.tbs)
+	lr0 := lj.lrSched.At(lj.iter)
+	lrT := lr0 * k
+	ramp := 0
+	if progressive {
+		ramp = rampIters
+	}
+	sched, err := scaling.NewLRSchedule(lr0, lrT, lj.iter, ramp)
+	if err != nil {
+		return err
+	}
+	lj.tbs = tbs
+	lj.lrSched = sched
+	return nil
+}
+
+// ForceLR pins the learning rate to lr from the current iteration onwards,
+// discarding any ramp in progress. The Figure 5 "Default" configuration
+// uses it to model naive weak scaling that grows the batch without
+// touching the learning rate.
+func (lj *LiveJob) ForceLR(lr float64) error {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	sched, err := scaling.NewLRSchedule(lr, lr, lj.iter, 0)
+	if err != nil {
+		return err
+	}
+	lj.lrSched = sched
+	return nil
+}
+
+// ScaleOut adds n workers through the full Elan procedure: the AM receives
+// the request, the new workers "start" (replica construction) and report,
+// the next coordination fires the adjustment, state is replicated via the
+// registered hooks, the loader repartitions and the group is reconstructed.
+// The total batch size is unchanged (strong scaling); combine with
+// SetTotalBatch for weak or hybrid scaling.
+func (lj *LiveJob) ScaleOut(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: scale-out by %d", n)
+	}
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	oldN := len(lj.workers)
+	if lj.tbs%(oldN+n) != 0 {
+		return fmt.Errorf("core: total batch %d not divisible by %d workers", lj.tbs, oldN+n)
+	}
+	// Step 1: request. Launch replicas (the "start+init" that Elan overlaps
+	// with training; here construction is synchronous but the AM protocol
+	// is exercised end to end).
+	lr := lj.lrSched.At(lj.iter)
+	var names []string
+	var fresh []*liveWorker
+	for i := 0; i < n; i++ {
+		w, err := lj.buildWorker(lr)
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, w)
+		names = append(names, w.name)
+	}
+	if err := lj.am.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
+		return err
+	}
+	// Step 2: report.
+	for _, name := range names {
+		if err := lj.am.ReportReady(name); err != nil {
+			return err
+		}
+	}
+	// Step 3: coordinate.
+	adj, ok, err := lj.am.Coordinate()
+	if err != nil {
+		return err
+	}
+	if !ok || len(adj.Add) != n {
+		return fmt.Errorf("core: coordination did not fire (ok=%v)", ok)
+	}
+	// Step 4: state replication. Each new worker copies from a source
+	// existing worker via the registered hooks (real byte movement).
+	lj.workers = append(lj.workers, fresh...)
+	for i := 0; i < n; i++ {
+		src := i % oldN // spread sources like the concurrent planner
+		if err := lj.copier.Execute(src, oldN+i); err != nil {
+			return err
+		}
+	}
+	// Step 5: state adjustment — repartition and group reconstruction.
+	if err := lj.loader.Repartition(oldN, oldN+n); err != nil {
+		return err
+	}
+	lj.group.Close()
+	group, err := collective.NewGroup(oldN + n)
+	if err != nil {
+		return err
+	}
+	lj.group = group
+	return nil
+}
+
+// ScaleIn removes the last n workers (survivors keep their state; nothing
+// moves). The total batch size is unchanged.
+func (lj *LiveJob) ScaleIn(n int) error {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	oldN := len(lj.workers)
+	if n <= 0 || n >= oldN {
+		return fmt.Errorf("core: scale-in by %d of %d workers", n, oldN)
+	}
+	newN := oldN - n
+	if lj.tbs%newN != 0 {
+		return fmt.Errorf("core: total batch %d not divisible by %d workers", lj.tbs, newN)
+	}
+	var names []string
+	for _, w := range lj.workers[newN:] {
+		names = append(names, w.name)
+	}
+	if err := lj.am.RequestAdjustment(coord.ScaleIn, nil, names); err != nil {
+		return err
+	}
+	if _, ok, err := lj.am.Coordinate(); err != nil || !ok {
+		return fmt.Errorf("core: scale-in coordination failed (ok=%v err=%v)", ok, err)
+	}
+	lj.workers = lj.workers[:newN]
+	if err := lj.loader.Repartition(oldN, newN); err != nil {
+		return err
+	}
+	lj.group.Close()
+	group, err := collective.NewGroup(newN)
+	if err != nil {
+		return err
+	}
+	lj.group = group
+	return nil
+}
+
+// Evaluate computes loss and accuracy of the (replicated) model on the
+// given dataset using worker 0's replica.
+func (lj *LiveJob) Evaluate(d *data.Dataset) (loss, acc float64, err error) {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	x, y, err := d.Batch(0, d.N())
+	if err != nil {
+		return 0, 0, err
+	}
+	out, err := lj.workers[0].net.Forward(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, _, err = nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, err = nn.Accuracy(out, y)
+	return loss, acc, err
+}
+
+// ReplicasConsistent verifies the data-parallel invariant: all workers hold
+// bitwise-identical parameters. It is the property state replication must
+// preserve.
+func (lj *LiveJob) ReplicasConsistent() bool {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	ref := lj.workers[0].net.FlattenParams(nil)
+	for _, w := range lj.workers[1:] {
+		p := w.net.FlattenParams(nil)
+		if len(p) != len(ref) {
+			return false
+		}
+		for i := range p {
+			if p[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diverged reports whether the model has left the numerically stable region
+// (NaN/Inf in parameters) — used by the progressive-LR ablation.
+func (lj *LiveJob) Diverged() bool {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	for _, p := range lj.workers[0].net.Params() {
+		if p.HasNaN() {
+			return true
+		}
+	}
+	return false
+}
+
+// Close releases the communication group.
+func (lj *LiveJob) Close() {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	lj.group.Close()
+}

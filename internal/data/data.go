@@ -1,0 +1,314 @@
+// Package data provides the synthetic training dataset and the two
+// data-loading semantics the paper compares (Section V-C, Figure 13):
+//
+//   - serial semantics: workers fetch batches from a single global cursor,
+//     so the remaining data is always one contiguous suffix and the loading
+//     state is a single integer — cheap to replicate and to repartition;
+//   - chunk-based semantics: the dataset is pre-partitioned into chunks and
+//     each worker consumes its own chunks, so the remaining data fragments
+//     during training and the state is a record table.
+//
+// The dataset itself is a seeded Gaussian-mixture classification problem
+// (the ImageNet substitute) so that accuracy experiments run real SGD.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+// Dataset is an in-memory labeled dataset with Features columns per sample.
+type Dataset struct {
+	Features int
+	Classes  int
+	X        []float64 // row-major, len = N*Features
+	Y        []int
+}
+
+// N returns the number of samples.
+func (d *Dataset) N() int { return len(d.Y) }
+
+// Batch materializes samples [lo, hi) as a matrix and label slice. Indices
+// wrap around the dataset (epoch boundary), so hi may exceed N.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Matrix, []int, error) {
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("data: empty batch [%d, %d)", lo, hi)
+	}
+	n := hi - lo
+	x := tensor.MustNew(n, d.Features)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		idx := (lo + i) % d.N()
+		copy(x.Data[i*d.Features:(i+1)*d.Features], d.X[idx*d.Features:(idx+1)*d.Features])
+		y[i] = d.Y[idx]
+	}
+	return x, y, nil
+}
+
+// GenGaussianMixture creates a classification dataset of n samples with the
+// given number of classes: each class is an isotropic Gaussian blob on a
+// circle, with enough overlap that accuracy is a meaningful, non-saturating
+// metric. The generator is fully determined by seed.
+func GenGaussianMixture(seed int64, n, features, classes int) (*Dataset, error) {
+	if n <= 0 || features < 2 || classes < 2 {
+		return nil, fmt.Errorf("data: invalid dataset spec n=%d features=%d classes=%d", n, features, classes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		Features: features,
+		Classes:  classes,
+		X:        make([]float64, n*features),
+		Y:        make([]int, n),
+	}
+	// Class centers on the unit circle in the first two dimensions, with a
+	// small deterministic offset pattern in the remaining dimensions.
+	const radius = 2.0
+	const noise = 0.9
+	for i := 0; i < n; i++ {
+		c := rng.Intn(classes)
+		d.Y[i] = c
+		angle := 2 * math.Pi * float64(c) / float64(classes)
+		row := d.X[i*features : (i+1)*features]
+		row[0] = radius*math.Cos(angle) + rng.NormFloat64()*noise
+		row[1] = radius*math.Sin(angle) + rng.NormFloat64()*noise
+		for f := 2; f < features; f++ {
+			center := 0.5 * float64((c+f)%classes) / float64(classes)
+			row[f] = center + rng.NormFloat64()*noise
+		}
+	}
+	return d, nil
+}
+
+// Loader is a data-loading semantics: it hands out per-worker sample ranges
+// and exposes the state that must be replicated on elastic adjustments.
+type Loader interface {
+	// NextBatch returns the global index range assigned to worker w for the
+	// current iteration, given per-worker batch size bs. Calling it for all
+	// workers of an iteration advances the epoch position.
+	NextBatch(w, nWorkers, bs int) (lo, hi int, err error)
+	// Remaining returns how many samples of the current epoch are unread.
+	Remaining() int
+	// Repartition adapts the loader to a new worker count, preserving the
+	// set of unread samples (data consistency, Section V-C).
+	Repartition(oldWorkers, newWorkers int) error
+	// StateBytes is the serialized size of the loading state.
+	StateBytes() int64
+	// ResetEpoch starts a new epoch.
+	ResetEpoch()
+}
+
+// SerialLoader implements the paper's serial data-loading semantics: a
+// single global cursor. Workers of one iteration read adjacent slices
+// [cursor + w*bs, cursor + (w+1)*bs); the iteration advances the cursor by
+// nWorkers*bs. Remaining data is always the contiguous suffix, so the whole
+// state is one integer.
+type SerialLoader struct {
+	epochSize int
+	cursor    int
+	// pending tracks how many workers of the current iteration have fetched,
+	// to know when to advance the cursor.
+	fetched int
+	nper    int
+}
+
+// NewSerialLoader creates a serial loader over an epoch of epochSize samples.
+func NewSerialLoader(epochSize int) (*SerialLoader, error) {
+	if epochSize <= 0 {
+		return nil, fmt.Errorf("data: non-positive epoch size %d", epochSize)
+	}
+	return &SerialLoader{epochSize: epochSize}, nil
+}
+
+// NextBatch implements Loader.
+func (l *SerialLoader) NextBatch(w, nWorkers, bs int) (int, int, error) {
+	if w < 0 || w >= nWorkers || bs <= 0 {
+		return 0, 0, fmt.Errorf("data: invalid fetch w=%d n=%d bs=%d", w, nWorkers, bs)
+	}
+	lo := l.cursor + w*bs
+	hi := lo + bs
+	l.fetched++
+	l.nper = nWorkers * bs
+	if l.fetched == nWorkers {
+		l.cursor += l.nper
+		l.fetched = 0
+		if l.cursor >= l.epochSize {
+			l.cursor -= l.epochSize // wrap into next epoch
+		}
+	}
+	return lo, hi, nil
+}
+
+// Remaining implements Loader.
+func (l *SerialLoader) Remaining() int { return l.epochSize - l.cursor }
+
+// Repartition implements Loader. For the serial semantics this is free: the
+// cursor is already worker-count independent.
+func (l *SerialLoader) Repartition(oldWorkers, newWorkers int) error {
+	if newWorkers <= 0 {
+		return fmt.Errorf("data: repartition to %d workers", newWorkers)
+	}
+	l.fetched = 0
+	return nil
+}
+
+// StateBytes implements Loader: the cursor is a single 8-byte integer.
+func (l *SerialLoader) StateBytes() int64 { return 8 }
+
+// ResetEpoch implements Loader.
+func (l *SerialLoader) ResetEpoch() { l.cursor, l.fetched = 0, 0 }
+
+// Cursor exposes the single-integer state for replication.
+func (l *SerialLoader) Cursor() int { return l.cursor }
+
+// SetCursor restores the replicated state.
+func (l *SerialLoader) SetCursor(c int) error {
+	if c < 0 || c >= l.epochSize {
+		return fmt.Errorf("data: cursor %d out of [0, %d)", c, l.epochSize)
+	}
+	l.cursor = c
+	l.fetched = 0
+	return nil
+}
+
+// ChunkLoader implements the chunk-based semantics used by most frameworks:
+// the epoch is split into fixed-size chunks assigned round-robin to workers;
+// each worker consumes its chunks in order. Remaining data fragments, so the
+// replication state is the full per-chunk consumption table.
+type ChunkLoader struct {
+	epochSize int
+	chunkSize int
+	// consumed[i] is how many samples of chunk i have been read.
+	consumed []int
+	// owner[i] is the worker currently assigned chunk i, -1 when finished.
+	owner []int
+	// next[w] is the chunk index worker w reads next.
+	next []int
+}
+
+// NewChunkLoader creates a chunk loader with the given chunk size, assigning
+// chunks round-robin across nWorkers.
+func NewChunkLoader(epochSize, chunkSize, nWorkers int) (*ChunkLoader, error) {
+	if epochSize <= 0 || chunkSize <= 0 || nWorkers <= 0 {
+		return nil, fmt.Errorf("data: invalid chunk loader epoch=%d chunk=%d workers=%d",
+			epochSize, chunkSize, nWorkers)
+	}
+	l := &ChunkLoader{epochSize: epochSize, chunkSize: chunkSize}
+	l.assign(nWorkers)
+	return l, nil
+}
+
+func (l *ChunkLoader) numChunks() int {
+	return (l.epochSize + l.chunkSize - 1) / l.chunkSize
+}
+
+func (l *ChunkLoader) assign(nWorkers int) {
+	nc := l.numChunks()
+	if l.consumed == nil {
+		l.consumed = make([]int, nc)
+	}
+	l.owner = make([]int, nc)
+	l.next = make([]int, nWorkers)
+	for w := range l.next {
+		l.next[w] = -1
+	}
+	// Round-robin assignment of unfinished chunks.
+	w := 0
+	for i := 0; i < nc; i++ {
+		if l.consumed[i] >= l.chunkLen(i) {
+			l.owner[i] = -1
+			continue
+		}
+		l.owner[i] = w % nWorkers
+		if l.next[w%nWorkers] == -1 {
+			l.next[w%nWorkers] = i
+		}
+		w++
+	}
+}
+
+func (l *ChunkLoader) chunkLen(i int) int {
+	lo := i * l.chunkSize
+	hi := lo + l.chunkSize
+	if hi > l.epochSize {
+		hi = l.epochSize
+	}
+	return hi - lo
+}
+
+// NextBatch implements Loader. The batch may be smaller than bs at chunk
+// boundaries; callers use the returned range length.
+func (l *ChunkLoader) NextBatch(w, nWorkers, bs int) (int, int, error) {
+	if w < 0 || w >= len(l.next) || bs <= 0 {
+		return 0, 0, fmt.Errorf("data: invalid fetch w=%d bs=%d (workers=%d)", w, bs, len(l.next))
+	}
+	ci := l.next[w]
+	// Find the worker's next unfinished chunk.
+	for ci != -1 && l.consumed[ci] >= l.chunkLen(ci) {
+		ci = l.nextChunkOf(w, ci)
+	}
+	if ci == -1 {
+		// Epoch exhausted for this worker: wrap to a fresh epoch view.
+		return 0, 0, fmt.Errorf("data: worker %d has no remaining chunks", w)
+	}
+	lo := ci*l.chunkSize + l.consumed[ci]
+	n := bs
+	if avail := l.chunkLen(ci) - l.consumed[ci]; n > avail {
+		n = avail
+	}
+	l.consumed[ci] += n
+	if l.consumed[ci] >= l.chunkLen(ci) {
+		l.owner[ci] = -1
+		l.next[w] = l.nextChunkOf(w, ci)
+	} else {
+		l.next[w] = ci
+	}
+	return lo, lo + n, nil
+}
+
+func (l *ChunkLoader) nextChunkOf(w, after int) int {
+	for i := after + 1; i < len(l.owner); i++ {
+		if l.owner[i] == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// Remaining implements Loader.
+func (l *ChunkLoader) Remaining() int {
+	total := 0
+	for i := range l.consumed {
+		total += l.chunkLen(i) - l.consumed[i]
+	}
+	return total
+}
+
+// Repartition implements Loader: unfinished chunks are reassigned
+// round-robin across the new worker count. This requires walking the whole
+// record table, unlike the serial loader's O(1) repartition.
+func (l *ChunkLoader) Repartition(oldWorkers, newWorkers int) error {
+	if newWorkers <= 0 {
+		return fmt.Errorf("data: repartition to %d workers", newWorkers)
+	}
+	l.assign(newWorkers)
+	return nil
+}
+
+// StateBytes implements Loader: the consumption table at 8 bytes per chunk.
+func (l *ChunkLoader) StateBytes() int64 { return int64(8 * l.numChunks()) }
+
+// ResetEpoch implements Loader.
+func (l *ChunkLoader) ResetEpoch() {
+	for i := range l.consumed {
+		l.consumed[i] = 0
+	}
+	l.assign(len(l.next))
+}
+
+var (
+	_ Loader = (*SerialLoader)(nil)
+	_ Loader = (*ChunkLoader)(nil)
+)

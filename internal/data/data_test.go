@@ -1,0 +1,404 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenGaussianMixtureDeterministic(t *testing.T) {
+	a, err := GenGaussianMixture(7, 100, 4, 3)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	b, err := GenGaussianMixture(7, 100, 4, 3)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	if a.N() != 100 || b.N() != 100 {
+		t.Fatalf("N = %d, %d", a.N(), b.N())
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("same seed produced different features")
+		}
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+	c, err := GenGaussianMixture(8, 100, 4, 3)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	same := true
+	for i := range a.X {
+		if a.X[i] != c.X[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenGaussianMixtureValidation(t *testing.T) {
+	if _, err := GenGaussianMixture(1, 0, 4, 3); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := GenGaussianMixture(1, 10, 1, 3); err == nil {
+		t.Fatal("one feature accepted")
+	}
+	if _, err := GenGaussianMixture(1, 10, 4, 1); err == nil {
+		t.Fatal("one class accepted")
+	}
+}
+
+func TestGenGaussianMixtureLabelsInRange(t *testing.T) {
+	d, err := GenGaussianMixture(3, 500, 3, 5)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	seen := map[int]int{}
+	for _, y := range d.Y {
+		if y < 0 || y >= 5 {
+			t.Fatalf("label %d out of range", y)
+		}
+		seen[y]++
+	}
+	// All classes represented in 500 samples.
+	for c := 0; c < 5; c++ {
+		if seen[c] == 0 {
+			t.Fatalf("class %d missing", c)
+		}
+	}
+}
+
+func TestBatchWraps(t *testing.T) {
+	d, err := GenGaussianMixture(1, 10, 2, 2)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	x, y, err := d.Batch(8, 12)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if x.Rows != 4 || len(y) != 4 {
+		t.Fatalf("batch shape %d, %d", x.Rows, len(y))
+	}
+	// Rows 2 and 3 wrap to dataset indices 0 and 1.
+	if y[2] != d.Y[0] || y[3] != d.Y[1] {
+		t.Fatal("batch did not wrap")
+	}
+	if _, _, err := d.Batch(5, 5); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestSerialLoaderAdvances(t *testing.T) {
+	l, err := NewSerialLoader(100)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	// 2 workers, batch 10 each: iteration 1 covers [0,10) and [10,20).
+	lo0, hi0, err := l.NextBatch(0, 2, 10)
+	if err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	lo1, hi1, err := l.NextBatch(1, 2, 10)
+	if err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	if lo0 != 0 || hi0 != 10 || lo1 != 10 || hi1 != 20 {
+		t.Fatalf("ranges = [%d,%d) [%d,%d)", lo0, hi0, lo1, hi1)
+	}
+	// Cursor advanced only after both workers fetched.
+	if l.Cursor() != 20 {
+		t.Fatalf("cursor = %d, want 20", l.Cursor())
+	}
+	if l.Remaining() != 80 {
+		t.Fatalf("remaining = %d, want 80", l.Remaining())
+	}
+}
+
+func TestSerialLoaderRemainingContiguous(t *testing.T) {
+	// The essential property of the serial semantics: after any number of
+	// iterations, the remaining data is the suffix [cursor, epoch).
+	l, err := NewSerialLoader(1000)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	covered := map[int]bool{}
+	workers, bs := 4, 25
+	for iter := 0; iter < 3; iter++ {
+		for w := 0; w < workers; w++ {
+			lo, hi, err := l.NextBatch(w, workers, bs)
+			if err != nil {
+				t.Fatalf("NextBatch: %v", err)
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("sample %d read twice", i)
+				}
+				covered[i] = true
+			}
+		}
+	}
+	// Everything before the cursor is covered, nothing after.
+	for i := 0; i < 1000; i++ {
+		want := i < l.Cursor()
+		if covered[i] != want {
+			t.Fatalf("sample %d covered=%v, want %v", i, covered[i], want)
+		}
+	}
+}
+
+func TestSerialLoaderRepartitionPreservesCursor(t *testing.T) {
+	l, err := NewSerialLoader(100)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	for w := 0; w < 2; w++ {
+		if _, _, err := l.NextBatch(w, 2, 10); err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+	}
+	cur := l.Cursor()
+	if err := l.Repartition(2, 4); err != nil {
+		t.Fatalf("Repartition: %v", err)
+	}
+	if l.Cursor() != cur {
+		t.Fatalf("repartition moved cursor %d -> %d", cur, l.Cursor())
+	}
+	// New iteration with 4 workers continues from the cursor.
+	lo, _, err := l.NextBatch(0, 4, 5)
+	if err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	if lo != cur {
+		t.Fatalf("first batch after repartition starts at %d, want %d", lo, cur)
+	}
+	if err := l.Repartition(4, 0); err == nil {
+		t.Fatal("repartition to 0 workers accepted")
+	}
+}
+
+func TestSerialLoaderStateIsOneInteger(t *testing.T) {
+	l, err := NewSerialLoader(100)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	if l.StateBytes() != 8 {
+		t.Fatalf("StateBytes = %d, want 8", l.StateBytes())
+	}
+	if err := l.SetCursor(42); err != nil {
+		t.Fatalf("SetCursor: %v", err)
+	}
+	if l.Cursor() != 42 {
+		t.Fatalf("Cursor = %d", l.Cursor())
+	}
+	if err := l.SetCursor(100); err == nil {
+		t.Fatal("out-of-range cursor accepted")
+	}
+	l.ResetEpoch()
+	if l.Cursor() != 0 {
+		t.Fatal("ResetEpoch did not reset")
+	}
+}
+
+func TestSerialLoaderWrapsEpoch(t *testing.T) {
+	l, err := NewSerialLoader(40)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	// One worker, batch 30: second fetch wraps.
+	if _, _, err := l.NextBatch(0, 1, 30); err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	if _, _, err := l.NextBatch(0, 1, 30); err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	if l.Cursor() != 20 {
+		t.Fatalf("cursor after wrap = %d, want 20", l.Cursor())
+	}
+}
+
+func TestSerialLoaderValidation(t *testing.T) {
+	if _, err := NewSerialLoader(0); err == nil {
+		t.Fatal("zero epoch accepted")
+	}
+	l, err := NewSerialLoader(10)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	if _, _, err := l.NextBatch(2, 2, 1); err == nil {
+		t.Fatal("worker index out of range accepted")
+	}
+	if _, _, err := l.NextBatch(0, 2, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestChunkLoaderCoversEpochOnce(t *testing.T) {
+	l, err := NewChunkLoader(100, 10, 4)
+	if err != nil {
+		t.Fatalf("NewChunkLoader: %v", err)
+	}
+	covered := map[int]bool{}
+	total := 0
+	for total < 100 {
+		progressed := false
+		for w := 0; w < 4; w++ {
+			lo, hi, err := l.NextBatch(w, 4, 7)
+			if err != nil {
+				continue // this worker may be out of chunks
+			}
+			progressed = true
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("sample %d read twice", i)
+				}
+				covered[i] = true
+				total++
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if total != 100 {
+		t.Fatalf("covered %d of 100 samples", total)
+	}
+	if l.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", l.Remaining())
+	}
+}
+
+func TestChunkLoaderFragmentation(t *testing.T) {
+	// After partial consumption the remaining data is fragmented: the chunk
+	// state is much bigger than the serial loader's single integer.
+	l, err := NewChunkLoader(10000, 10, 8)
+	if err != nil {
+		t.Fatalf("NewChunkLoader: %v", err)
+	}
+	if l.StateBytes() <= 8 {
+		t.Fatalf("chunk state %d bytes, want > 8", l.StateBytes())
+	}
+	serial, err := NewSerialLoader(10000)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	if l.StateBytes() < 100*serial.StateBytes() {
+		t.Fatalf("chunk state (%d) not >> serial state (%d)", l.StateBytes(), serial.StateBytes())
+	}
+}
+
+func TestChunkLoaderRepartitionPreservesRemaining(t *testing.T) {
+	l, err := NewChunkLoader(100, 10, 2)
+	if err != nil {
+		t.Fatalf("NewChunkLoader: %v", err)
+	}
+	for w := 0; w < 2; w++ {
+		if _, _, err := l.NextBatch(w, 2, 10); err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+	}
+	before := l.Remaining()
+	if err := l.Repartition(2, 5); err != nil {
+		t.Fatalf("Repartition: %v", err)
+	}
+	if l.Remaining() != before {
+		t.Fatalf("repartition changed remaining: %d -> %d", before, l.Remaining())
+	}
+	// All remaining samples are still readable exactly once by 5 workers.
+	covered := 0
+	for covered < before {
+		progressed := false
+		for w := 0; w < 5; w++ {
+			lo, hi, err := l.NextBatch(w, 5, 10)
+			if err != nil {
+				continue
+			}
+			covered += hi - lo
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	if covered != before {
+		t.Fatalf("after repartition covered %d of %d", covered, before)
+	}
+	if err := l.Repartition(5, 0); err == nil {
+		t.Fatal("repartition to 0 accepted")
+	}
+}
+
+func TestChunkLoaderResetEpoch(t *testing.T) {
+	l, err := NewChunkLoader(50, 10, 2)
+	if err != nil {
+		t.Fatalf("NewChunkLoader: %v", err)
+	}
+	if _, _, err := l.NextBatch(0, 2, 10); err != nil {
+		t.Fatalf("NextBatch: %v", err)
+	}
+	l.ResetEpoch()
+	if l.Remaining() != 50 {
+		t.Fatalf("Remaining after reset = %d", l.Remaining())
+	}
+}
+
+func TestChunkLoaderValidation(t *testing.T) {
+	if _, err := NewChunkLoader(0, 10, 2); err == nil {
+		t.Fatal("zero epoch accepted")
+	}
+	if _, err := NewChunkLoader(10, 0, 2); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+	if _, err := NewChunkLoader(10, 5, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	l, err := NewChunkLoader(10, 5, 2)
+	if err != nil {
+		t.Fatalf("NewChunkLoader: %v", err)
+	}
+	if _, _, err := l.NextBatch(5, 2, 1); err == nil {
+		t.Fatal("worker out of range accepted")
+	}
+}
+
+func TestLoaderConsistencyProperty(t *testing.T) {
+	// Property: for any fetch pattern, serial loader never hands out an
+	// index twice within an epoch (until the cursor wraps).
+	prop := func(fetches []uint8) bool {
+		l, err := NewSerialLoader(1 << 16)
+		if err != nil {
+			return false
+		}
+		workers := 4
+		seen := map[int]bool{}
+		for i := 0; i < len(fetches) && i < 30; i++ {
+			bs := int(fetches[i]%32) + 1
+			for w := 0; w < workers; w++ {
+				lo, hi, err := l.NextBatch(w, workers, bs)
+				if err != nil {
+					return false
+				}
+				if hi > 1<<16 {
+					return true // wrapped; stop checking
+				}
+				for k := lo; k < hi; k++ {
+					if seen[k] {
+						return false
+					}
+					seen[k] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+// Epoch shuffling under the serial semantics: instead of materializing a
+// shuffled copy of the dataset, every worker maps the loader's logical
+// serial indices through a permutation derived deterministically from
+// (seed, epoch). The loading state stays a single integer — the paper's
+// property — because the permutation is recomputable anywhere from the two
+// values that are already part of the runtime state.
+
+// Permutation returns the deterministic sample order of one epoch.
+func Permutation(seed int64, epoch, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("data: permutation over %d samples", n)
+	}
+	if epoch < 0 {
+		return nil, fmt.Errorf("data: negative epoch %d", epoch)
+	}
+	// Mix the epoch into the seed so each epoch has a fresh order.
+	const mix = int64(0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF)
+	rng := rand.New(rand.NewSource(seed ^ (int64(epoch)+1)*mix))
+	perm := rng.Perm(n)
+	return perm, nil
+}
+
+// ShuffledBatch materializes the logical range [lo, hi) of the given epoch
+// permutation as a training batch. The range wraps like Dataset.Batch.
+func (d *Dataset) ShuffledBatch(perm []int, lo, hi int) (*tensor.Matrix, []int, error) {
+	if len(perm) != d.N() {
+		return nil, nil, fmt.Errorf("data: permutation of %d entries for %d samples", len(perm), d.N())
+	}
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("data: empty shuffled batch [%d, %d)", lo, hi)
+	}
+	n := hi - lo
+	x := tensor.MustNew(n, d.Features)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		logical := (lo + i) % d.N()
+		idx := perm[logical]
+		copy(x.Data[i*d.Features:(i+1)*d.Features], d.X[idx*d.Features:(idx+1)*d.Features])
+		y[i] = d.Y[idx]
+	}
+	return x, y, nil
+}

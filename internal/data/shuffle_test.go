@@ -1,0 +1,172 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermutationDeterministic(t *testing.T) {
+	a, err := Permutation(7, 3, 100)
+	if err != nil {
+		t.Fatalf("Permutation: %v", err)
+	}
+	b, err := Permutation(7, 3, 100)
+	if err != nil {
+		t.Fatalf("Permutation: %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (seed, epoch) produced different permutations")
+		}
+	}
+	c, err := Permutation(7, 4, 100)
+	if err != nil {
+		t.Fatalf("Permutation: %v", err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different epochs produced identical permutations")
+	}
+}
+
+func TestPermutationIsBijection(t *testing.T) {
+	prop := func(seed int64, epochRaw, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		epoch := int(epochRaw % 50)
+		perm, err := Permutation(seed, epoch, n)
+		if err != nil || len(perm) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationValidation(t *testing.T) {
+	if _, err := Permutation(1, 0, 0); err == nil {
+		t.Fatal("zero n accepted")
+	}
+	if _, err := Permutation(1, -1, 10); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+}
+
+func TestShuffledBatch(t *testing.T) {
+	d, err := GenGaussianMixture(1, 20, 2, 2)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	perm, err := Permutation(1, 0, 20)
+	if err != nil {
+		t.Fatalf("Permutation: %v", err)
+	}
+	x, y, err := d.ShuffledBatch(perm, 0, 5)
+	if err != nil {
+		t.Fatalf("ShuffledBatch: %v", err)
+	}
+	if x.Rows != 5 || len(y) != 5 {
+		t.Fatalf("shape %d, %d", x.Rows, len(y))
+	}
+	// Row i must be sample perm[i].
+	for i := 0; i < 5; i++ {
+		idx := perm[i]
+		if y[i] != d.Y[idx] {
+			t.Fatalf("row %d label %d, want %d", i, y[i], d.Y[idx])
+		}
+		for f := 0; f < 2; f++ {
+			if x.At(i, f) != d.X[idx*2+f] {
+				t.Fatalf("row %d feature %d mismatch", i, f)
+			}
+		}
+	}
+}
+
+func TestShuffledBatchWraps(t *testing.T) {
+	d, err := GenGaussianMixture(1, 10, 2, 2)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	perm, err := Permutation(1, 0, 10)
+	if err != nil {
+		t.Fatalf("Permutation: %v", err)
+	}
+	x, y, err := d.ShuffledBatch(perm, 8, 12)
+	if err != nil {
+		t.Fatalf("ShuffledBatch: %v", err)
+	}
+	if x.Rows != 4 {
+		t.Fatalf("rows = %d", x.Rows)
+	}
+	// Wrapped rows 2, 3 map to logical 0, 1.
+	if y[2] != d.Y[perm[0]] || y[3] != d.Y[perm[1]] {
+		t.Fatal("wrap mapping wrong")
+	}
+}
+
+func TestShuffledBatchValidation(t *testing.T) {
+	d, err := GenGaussianMixture(1, 10, 2, 2)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	if _, _, err := d.ShuffledBatch([]int{0, 1}, 0, 2); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	perm, _ := Permutation(1, 0, 10)
+	if _, _, err := d.ShuffledBatch(perm, 3, 3); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestShuffledEpochCoversAllSamplesOnce(t *testing.T) {
+	// Serial loader + permutation: one epoch covers every sample exactly
+	// once even with multiple workers.
+	d, err := GenGaussianMixture(1, 64, 2, 2)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	perm, err := Permutation(9, 2, 64)
+	if err != nil {
+		t.Fatalf("Permutation: %v", err)
+	}
+	l, err := NewSerialLoader(64)
+	if err != nil {
+		t.Fatalf("NewSerialLoader: %v", err)
+	}
+	counts := make([]int, 64)
+	for iter := 0; iter < 4; iter++ { // 4 iterations x 4 workers x 4 = 64
+		for w := 0; w < 4; w++ {
+			lo, hi, err := l.NextBatch(w, 4, 4)
+			if err != nil {
+				t.Fatalf("NextBatch: %v", err)
+			}
+			_, y, err := d.ShuffledBatch(perm, lo, hi)
+			if err != nil {
+				t.Fatalf("ShuffledBatch: %v", err)
+			}
+			_ = y
+			for i := lo; i < hi; i++ {
+				counts[perm[i%64]]++
+			}
+		}
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("sample %d visited %d times", i, c)
+		}
+	}
+}

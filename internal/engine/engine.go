@@ -1,0 +1,286 @@
+// Package engine demonstrates Elan's framework generality (Section V-A):
+// the elastic runtime talks to the DL framework only through the hook API
+// (state extraction/installation functions registered per state kind), so
+// integrating a new framework means implementing a handful of hooks.
+//
+// Two engines are provided, mirroring the paper's two integrations:
+//
+//   - StaticEngine is Caffe-like: the network is compiled once into a fixed
+//     execution plan with shapes validated up front; running a batch merely
+//     replays the plan.
+//   - DynamicEngine is PyTorch-like: each step eagerly executes layer
+//     objects and records a tape, allowing per-step graph changes (the test
+//     suite exercises a step-dependent structure).
+//
+// Both satisfy the same Engine interface, and ReplicationHooks adapts any
+// Engine to the replication.Copier registry.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/elan-sys/elan/internal/nn"
+	"github.com/elan-sys/elan/internal/replication"
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+// Engine is the minimal framework contract the elastic runtime needs: run
+// a training step, expose flattenable training state, and report its size.
+type Engine interface {
+	// Step runs forward+backward+update on one batch and returns the loss.
+	Step(x *tensor.Matrix, y []int, lr float64) (float64, error)
+	// Eval returns loss and accuracy without updating parameters.
+	Eval(x *tensor.Matrix, y []int) (loss, acc float64, err error)
+	// ExportState flattens all replicable state (parameters + optimizer).
+	ExportState() []float64
+	// ImportState installs previously exported state.
+	ImportState([]float64) error
+	// Kind names the engine for diagnostics.
+	Kind() string
+}
+
+// StaticEngine precompiles an MLP into a fixed plan (Caffe-style).
+type StaticEngine struct {
+	net      *nn.MLP
+	opt      *nn.SGD
+	inDim    int
+	outDim   int
+	compiled bool
+}
+
+// NewStatic builds and "compiles" a static engine: shapes are fixed and
+// checked at construction; Step rejects mismatched batches.
+func NewStatic(seed int64, sizes []int, lr, momentum float64) (*StaticEngine, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("engine: need at least 2 layer sizes")
+	}
+	net, err := nn.NewMLP(rand.New(rand.NewSource(seed)), sizes)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(net.Params(), lr, momentum)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticEngine{
+		net:      net,
+		opt:      opt,
+		inDim:    sizes[0],
+		outDim:   sizes[len(sizes)-1],
+		compiled: true,
+	}, nil
+}
+
+// Kind implements Engine.
+func (e *StaticEngine) Kind() string { return "static" }
+
+// Step implements Engine with compile-time shape enforcement.
+func (e *StaticEngine) Step(x *tensor.Matrix, y []int, lr float64) (float64, error) {
+	if !e.compiled {
+		return 0, fmt.Errorf("engine: static engine not compiled")
+	}
+	if x.Cols != e.inDim {
+		return 0, fmt.Errorf("engine: static plan expects %d features, got %d", e.inDim, x.Cols)
+	}
+	e.net.ZeroGrads()
+	out, err := e.net.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.net.Backward(grad); err != nil {
+		return 0, err
+	}
+	e.opt.LR = lr
+	if err := e.opt.Step(e.net.Params(), e.net.Grads()); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// Eval implements Engine.
+func (e *StaticEngine) Eval(x *tensor.Matrix, y []int) (float64, float64, error) {
+	out, err := e.net.Forward(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, _, err := nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, err := nn.Accuracy(out, y)
+	return loss, acc, err
+}
+
+// ExportState implements Engine.
+func (e *StaticEngine) ExportState() []float64 {
+	state := e.net.FlattenParams(nil)
+	return e.opt.FlattenState(state)
+}
+
+// ImportState implements Engine.
+func (e *StaticEngine) ImportState(state []float64) error {
+	nParams := e.net.NumParams()
+	if len(state) != nParams+e.opt.StateElements() {
+		return fmt.Errorf("engine: state of %d values, want %d", len(state), nParams+e.opt.StateElements())
+	}
+	if err := e.net.LoadParams(state[:nParams]); err != nil {
+		return err
+	}
+	return e.opt.LoadState(state[nParams:])
+}
+
+// DynamicEngine executes eagerly and may change structure between steps
+// (PyTorch-style). It keeps a set of branches and picks one per step based
+// on a caller-provided selector, re-recording the tape each time.
+type DynamicEngine struct {
+	branches []*nn.MLP
+	opts     []*nn.SGD
+	// Select picks the branch for a given step; defaults to branch 0.
+	Select func(step int) int
+	step   int
+}
+
+// NewDynamic builds a dynamic engine with one or more structural branches
+// (all sharing input/output dimensions but possibly different hidden
+// shapes — the kind of data-dependent control flow a static engine cannot
+// express).
+func NewDynamic(seed int64, branchSizes [][]int, lr, momentum float64) (*DynamicEngine, error) {
+	if len(branchSizes) == 0 {
+		return nil, fmt.Errorf("engine: need at least one branch")
+	}
+	e := &DynamicEngine{}
+	for i, sizes := range branchSizes {
+		if len(sizes) < 2 {
+			return nil, fmt.Errorf("engine: branch %d too shallow", i)
+		}
+		net, err := nn.NewMLP(rand.New(rand.NewSource(seed+int64(i))), sizes)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := nn.NewSGD(net.Params(), lr, momentum)
+		if err != nil {
+			return nil, err
+		}
+		e.branches = append(e.branches, net)
+		e.opts = append(e.opts, opt)
+	}
+	return e, nil
+}
+
+// Kind implements Engine.
+func (e *DynamicEngine) Kind() string { return "dynamic" }
+
+func (e *DynamicEngine) pick(step int) int {
+	if e.Select == nil {
+		return 0
+	}
+	b := e.Select(step)
+	if b < 0 || b >= len(e.branches) {
+		return 0
+	}
+	return b
+}
+
+// Step implements Engine, eagerly executing the branch chosen for this
+// step.
+func (e *DynamicEngine) Step(x *tensor.Matrix, y []int, lr float64) (float64, error) {
+	b := e.pick(e.step)
+	e.step++
+	net, opt := e.branches[b], e.opts[b]
+	net.ZeroGrads()
+	out, err := net.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return 0, err
+	}
+	if err := net.Backward(grad); err != nil {
+		return 0, err
+	}
+	opt.LR = lr
+	if err := opt.Step(net.Params(), net.Grads()); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// Eval implements Engine using branch 0 (the inference branch).
+func (e *DynamicEngine) Eval(x *tensor.Matrix, y []int) (float64, float64, error) {
+	out, err := e.branches[0].Forward(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, _, err := nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, err := nn.Accuracy(out, y)
+	return loss, acc, err
+}
+
+// ExportState implements Engine: all branches' parameters and optimizer
+// states, in branch order.
+func (e *DynamicEngine) ExportState() []float64 {
+	var state []float64
+	for i, net := range e.branches {
+		state = net.FlattenParams(state)
+		state = e.opts[i].FlattenState(state)
+	}
+	return state
+}
+
+// ImportState implements Engine.
+func (e *DynamicEngine) ImportState(state []float64) error {
+	off := 0
+	for i, net := range e.branches {
+		n := net.NumParams()
+		s := e.opts[i].StateElements()
+		if off+n+s > len(state) {
+			return fmt.Errorf("engine: state too short at branch %d", i)
+		}
+		if err := net.LoadParams(state[off : off+n]); err != nil {
+			return err
+		}
+		off += n
+		if err := e.opts[i].LoadState(state[off : off+s]); err != nil {
+			return err
+		}
+		off += s
+	}
+	if off != len(state) {
+		return fmt.Errorf("engine: %d trailing state values", len(state)-off)
+	}
+	return nil
+}
+
+// ReplicationHooks adapts any Engine to the elastic runtime's hook API:
+// given a fleet of engine replicas, it registers the "model+optimizer"
+// GPU-state hook that copies state between replicas. This is all a new
+// framework must provide to gain elasticity (Table III, RegisterHook).
+func ReplicationHooks(copier *replication.Copier, replicas []Engine) error {
+	if len(replicas) == 0 {
+		return fmt.Errorf("engine: no replicas")
+	}
+	return copier.RegisterHook(replication.Hook{
+		Kind:  "engine-state",
+		OnGPU: true,
+		Copy: func(src, dst int) error {
+			if src < 0 || src >= len(replicas) || dst < 0 || dst >= len(replicas) {
+				return fmt.Errorf("engine: hook indices %d->%d out of range", src, dst)
+			}
+			return replicas[dst].ImportState(replicas[src].ExportState())
+		},
+	})
+}
+
+var (
+	_ Engine = (*StaticEngine)(nil)
+	_ Engine = (*DynamicEngine)(nil)
+)

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/replication"
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+func trainBatch(t *testing.T) (*tensor.Matrix, []int) {
+	t.Helper()
+	d, err := data.GenGaussianMixture(4, 256, 4, 3)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	x, y, err := d.Batch(0, 256)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	return x, y
+}
+
+func TestStaticEngineTrains(t *testing.T) {
+	e, err := NewStatic(1, []int{4, 16, 3}, 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	if e.Kind() != "static" {
+		t.Fatalf("Kind = %q", e.Kind())
+	}
+	x, y := trainBatch(t)
+	var first, last float64
+	for i := 0; i < 60; i++ {
+		loss, err := e.Step(x, y, 0.1)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first/2 {
+		t.Fatalf("loss did not halve: %v -> %v", first, last)
+	}
+	_, acc, err := e.Eval(x, y)
+	if err != nil || acc < 0.7 {
+		t.Fatalf("Eval acc = %v, %v", acc, err)
+	}
+}
+
+func TestStaticEngineShapeEnforcement(t *testing.T) {
+	e, err := NewStatic(1, []int{4, 8, 3}, 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	bad := tensor.MustNew(2, 5) // wrong feature count
+	if _, err := e.Step(bad, []int{0, 1}, 0.1); err == nil {
+		t.Fatal("static engine accepted mismatched shape")
+	}
+	if _, err := NewStatic(1, []int{4}, 0.1, 0.9); err == nil {
+		t.Fatal("one-layer network accepted")
+	}
+}
+
+func TestDynamicEngineBranches(t *testing.T) {
+	e, err := NewDynamic(2, [][]int{{4, 16, 3}, {4, 8, 8, 3}}, 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	if e.Kind() != "dynamic" {
+		t.Fatalf("Kind = %q", e.Kind())
+	}
+	// Step-dependent structure: alternate branches.
+	used := map[int]int{}
+	e.Select = func(step int) int {
+		b := step % 2
+		used[b]++
+		return b
+	}
+	x, y := trainBatch(t)
+	for i := 0; i < 20; i++ {
+		if _, err := e.Step(x, y, 0.05); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if used[0] == 0 || used[1] == 0 {
+		t.Fatalf("branches not both used: %v", used)
+	}
+	// Out-of-range selector falls back to branch 0 instead of crashing.
+	e.Select = func(step int) int { return 99 }
+	if _, err := e.Step(x, y, 0.05); err != nil {
+		t.Fatalf("Step with bad selector: %v", err)
+	}
+}
+
+func TestDynamicEngineValidation(t *testing.T) {
+	if _, err := NewDynamic(1, nil, 0.1, 0.9); err == nil {
+		t.Fatal("no branches accepted")
+	}
+	if _, err := NewDynamic(1, [][]int{{4}}, 0.1, 0.9); err == nil {
+		t.Fatal("shallow branch accepted")
+	}
+}
+
+func TestStateRoundTripBothEngines(t *testing.T) {
+	x, y := trainBatch(t)
+	engines := []Engine{}
+	st, err := NewStatic(3, []int{4, 16, 3}, 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	dy, err := NewDynamic(3, [][]int{{4, 16, 3}}, 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	engines = append(engines, st, dy)
+	for _, e := range engines {
+		for i := 0; i < 10; i++ {
+			if _, err := e.Step(x, y, 0.05); err != nil {
+				t.Fatalf("%s Step: %v", e.Kind(), err)
+			}
+		}
+		state := e.ExportState()
+		if len(state) == 0 {
+			t.Fatalf("%s: empty state", e.Kind())
+		}
+		// Round trip into a fresh engine of the same shape.
+		var fresh Engine
+		var err error
+		if e.Kind() == "static" {
+			fresh, err = NewStatic(99, []int{4, 16, 3}, 0.1, 0.9)
+		} else {
+			fresh, err = NewDynamic(99, [][]int{{4, 16, 3}}, 0.1, 0.9)
+		}
+		if err != nil {
+			t.Fatalf("fresh %s: %v", e.Kind(), err)
+		}
+		if err := fresh.ImportState(state); err != nil {
+			t.Fatalf("%s ImportState: %v", e.Kind(), err)
+		}
+		lossA, accA, err := e.Eval(x, y)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		lossB, accB, err := fresh.Eval(x, y)
+		if err != nil {
+			t.Fatalf("Eval fresh: %v", err)
+		}
+		if math.Abs(lossA-lossB) > 1e-12 || math.Abs(accA-accB) > 1e-12 {
+			t.Fatalf("%s: state round trip changed behaviour", e.Kind())
+		}
+		// Corrupt-length state rejected.
+		if err := fresh.ImportState(state[:len(state)-1]); err == nil {
+			t.Fatalf("%s: short state accepted", e.Kind())
+		}
+	}
+}
+
+func TestReplicationHooksAdaptAnyEngine(t *testing.T) {
+	// The generality claim: the same hook adapter replicates state for a
+	// static-engine fleet and a dynamic-engine fleet.
+	x, y := trainBatch(t)
+	build := func(kind string) []Engine {
+		var out []Engine
+		for i := 0; i < 3; i++ {
+			var e Engine
+			var err error
+			if kind == "static" {
+				e, err = NewStatic(7, []int{4, 16, 3}, 0.1, 0.9)
+			} else {
+				e, err = NewDynamic(7, [][]int{{4, 16, 3}}, 0.1, 0.9)
+			}
+			if err != nil {
+				t.Fatalf("build %s: %v", kind, err)
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	for _, kind := range []string{"static", "dynamic"} {
+		replicas := build(kind)
+		// Train only replica 0; replicas 1, 2 stay at init.
+		for i := 0; i < 15; i++ {
+			if _, err := replicas[0].Step(x, y, 0.05); err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+		}
+		copier := replication.NewCopier()
+		if err := ReplicationHooks(copier, replicas); err != nil {
+			t.Fatalf("ReplicationHooks: %v", err)
+		}
+		// Replicate 0 -> 1 and 0 -> 2 (a scale-out from 1 to 3 workers).
+		if err := copier.Execute(0, 1); err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if err := copier.Execute(0, 2); err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		loss0, _, err := replicas[0].Eval(x, y)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		for r := 1; r < 3; r++ {
+			loss, _, err := replicas[r].Eval(x, y)
+			if err != nil {
+				t.Fatalf("Eval replica %d: %v", r, err)
+			}
+			if math.Abs(loss-loss0) > 1e-12 {
+				t.Fatalf("%s replica %d not replicated: loss %v vs %v", kind, r, loss, loss0)
+			}
+		}
+	}
+	if err := ReplicationHooks(replication.NewCopier(), nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+func TestReplicationHookIndexValidation(t *testing.T) {
+	st, err := NewStatic(1, []int{4, 8, 3}, 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewStatic: %v", err)
+	}
+	copier := replication.NewCopier()
+	if err := ReplicationHooks(copier, []Engine{st}); err != nil {
+		t.Fatalf("ReplicationHooks: %v", err)
+	}
+	if err := copier.Execute(0, 5); err == nil {
+		t.Fatal("out-of-range replica accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/elan-sys/elan/internal/core"
+	"github.com/elan-sys/elan/internal/metrics"
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/perfmodel"
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+// StragglerScenario quantifies the straggler-mitigation use case the paper
+// lists for elasticity (Section VII): synchronous data-parallel training is
+// bound by its slowest rank, so one degraded GPU drags the whole job; Elan
+// replaces just that worker with a ~1s pause, restoring full throughput.
+// The table reports, for several slowdown factors, the throughput with the
+// straggler, the replacement pause, and the time after which the migration
+// pays for itself.
+func StragglerScenario(w io.Writer) (*metrics.Table, error) {
+	p := perfmodel.Default()
+	m := models.ResNet50()
+	const (
+		nWorkers  = 16
+		perWorker = 32
+	)
+	healthyIter, err := p.IterTime(m, nWorkers, perWorker)
+	if err != nil {
+		return nil, err
+	}
+	healthyTP := float64(nWorkers*perWorker) / healthyIter.Seconds()
+
+	// The replacement pause, measured on a simulated job.
+	c := bigCluster(4)
+	gpus, err := c.Reserve(nWorkers)
+	if err != nil {
+		return nil, err
+	}
+	job, err := core.NewJob(core.JobConfig{
+		Model: m, Cluster: c, Workers: topology.IDsOf(gpus),
+		TotalBatch: nWorkers * perWorker, LR: 0.1, Seed: 33,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spare, err := c.Reserve(1)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := job.Replace(job.Workers[3], spare[0].ID)
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Straggler mitigation (ResNet-50, %d workers; replacement pause %v)",
+			nWorkers, rep.Pause.Round(time.Millisecond)),
+		"Slowdown", "Throughput w/ straggler", "Loss", "Break-even after")
+	for _, factor := range []float64{1.25, 1.5, 2, 4} {
+		slowIter, err := p.IterTimeStraggler(m, nWorkers, perWorker, factor)
+		if err != nil {
+			return nil, err
+		}
+		slowTP := float64(nWorkers*perWorker) / slowIter.Seconds()
+		lossFrac := 1 - slowTP/healthyTP
+		// Samples lost per second with the straggler vs the pause's cost in
+		// samples: break-even when pause * healthyTP == t * (healthyTP-slowTP).
+		breakEven := time.Duration(rep.Pause.Seconds() * healthyTP / (healthyTP - slowTP) * float64(time.Second))
+		t.AddRow(fmt.Sprintf("%.2fx", factor),
+			fmt.Sprintf("%.0f samples/s", slowTP),
+			fmt.Sprintf("-%.0f%%", 100*lossFrac),
+			breakEven.Round(100*time.Millisecond).String())
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "healthy throughput: %.0f samples/s; a few seconds of straggling already justify the migration.\n", healthyTP)
+	return t, nil
+}

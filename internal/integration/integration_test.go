@@ -1,0 +1,275 @@
+// Package integration contains cross-subsystem end-to-end tests: the full
+// Elan stack (coordination over a lossy message bus + real training + state
+// replication), the S&R restart path with a real serialized checkpoint, and
+// migration of a live job between processes of worker goroutines.
+package integration
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/checkpoint"
+	"github.com/elan-sys/elan/internal/coord"
+	"github.com/elan-sys/elan/internal/core"
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/transport"
+)
+
+func dataset(t *testing.T, seed int64, n int) *data.Dataset {
+	t.Helper()
+	d, err := data.GenGaussianMixture(seed, n, 4, 3)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	return d
+}
+
+func liveJob(t *testing.T, workers, tbs int) *core.LiveJob {
+	t.Helper()
+	lj, err := core.NewLiveJob(core.LiveConfig{
+		Dataset:    dataset(t, 11, 1024),
+		LayerSizes: []int{4, 16, 3},
+		Workers:    workers,
+		TotalBatch: tbs,
+		LR:         0.05,
+		Momentum:   0.9,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatalf("NewLiveJob: %v", err)
+	}
+	t.Cleanup(lj.Close)
+	return lj
+}
+
+// TestElasticStackOverLossyBus drives the full adjustment protocol over a
+// bus with 25% message loss while real training runs: the scheduler
+// requests a scale-out through the AM service, a "new worker" goroutine
+// starts (simulated init delay) and reports, the training loop coordinates
+// between iterations, and when the adjustment fires the live job performs
+// replication and group reconstruction. Exactly one adjustment must be
+// applied, training must keep converging, and replicas stay consistent.
+func TestElasticStackOverLossyBus(t *testing.T) {
+	cfg := transport.DefaultBusConfig()
+	cfg.DropRate = 0.25
+	cfg.Seed = 77
+	cfg.AckTimeout = 5 * time.Millisecond
+	cfg.MaxRetries = 100
+	bus := transport.NewBus(cfg)
+
+	am, err := coord.NewAM("e2e", store.New())
+	if err != nil {
+		t.Fatalf("NewAM: %v", err)
+	}
+	if _, err := coord.NewService(am, bus, "am"); err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	scheduler, err := coord.NewClient(bus, "scheduler", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	trainer, err := coord.NewClient(bus, "trainer", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	newWorker, err := coord.NewClient(bus, "w-new", "am")
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	job := liveJob(t, 2, 32)
+
+	// Scheduler decides to scale out and launches the new worker.
+	if err := scheduler.RequestAdjustment(coord.ScaleOut, []string{"w-new"}, nil); err != nil {
+		t.Fatalf("RequestAdjustment: %v", err)
+	}
+	workerReady := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond) // start + initialization
+		workerReady <- newWorker.ReportReady("w-new")
+	}()
+
+	applied := 0
+	for iter := 0; iter < 200; iter++ {
+		if _, err := job.Step(); err != nil {
+			t.Fatalf("Step %d: %v", iter, err)
+		}
+		// Coordinate at every iteration boundary; training never blocks.
+		adj, ok, err := trainer.Coordinate()
+		if err != nil {
+			t.Fatalf("Coordinate: %v", err)
+		}
+		if ok {
+			if adj.Kind != coord.ScaleOut {
+				t.Fatalf("adjustment kind = %v", adj.Kind)
+			}
+			// Apply the adjustment to the live job: 2 -> 4 workers keeps
+			// divisibility of TBS 32.
+			if err := job.ScaleOut(2); err != nil {
+				t.Fatalf("ScaleOut: %v", err)
+			}
+			applied++
+		}
+		if applied > 0 && iter > 120 {
+			break
+		}
+	}
+	if err := <-workerReady; err != nil {
+		t.Fatalf("ReportReady: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("adjustment applied %d times, want exactly 1", applied)
+	}
+	if job.NumWorkers() != 4 {
+		t.Fatalf("workers = %d", job.NumWorkers())
+	}
+	if !job.ReplicasConsistent() {
+		t.Fatal("replicas inconsistent after bus-driven adjustment")
+	}
+	// Training converged meaningfully.
+	_, acc, err := job.Evaluate(dataset(t, 12, 512))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if acc < 0.55 {
+		t.Fatalf("accuracy %.3f too low after end-to-end run", acc)
+	}
+}
+
+// TestSRCheckpointRestartPath exercises the baseline's full restart on real
+// state: train, checkpoint (gob into the store), build a fresh job with a
+// different worker count, load the checkpoint, and verify the model and
+// data position carried over exactly.
+func TestSRCheckpointRestartPath(t *testing.T) {
+	job := liveJob(t, 2, 32)
+	for i := 0; i < 50; i++ {
+		if _, err := job.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	preLoss, preAcc, err := job.Evaluate(dataset(t, 12, 512))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	snap, err := job.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	fs := checkpoint.NewStore()
+	size, err := fs.Save("job-ckpt", snap)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if size <= 0 {
+		t.Fatalf("checkpoint size = %d", size)
+	}
+	// The simulated cost of this checkpoint on the FS model is positive
+	// and scales with the state.
+	model := checkpoint.DefaultFSModel()
+	if model.SaveTime(size, 0) <= 0 {
+		t.Fatal("zero save time")
+	}
+
+	// "Restart" with 4 workers (the S&R scale-out path).
+	restarted := liveJob(t, 4, 32)
+	var loaded core.Snapshot
+	if err := fs.Load("job-ckpt", &loaded); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := restarted.RestoreSnapshot(&loaded); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if restarted.Iteration() != 50 {
+		t.Fatalf("restored iteration = %d", restarted.Iteration())
+	}
+	postLoss, postAcc, err := restarted.Evaluate(dataset(t, 12, 512))
+	if err != nil {
+		t.Fatalf("Evaluate restored: %v", err)
+	}
+	if math.Abs(postLoss-preLoss) > 1e-12 || math.Abs(postAcc-preAcc) > 1e-12 {
+		t.Fatalf("restored model differs: loss %v vs %v, acc %v vs %v",
+			postLoss, preLoss, postAcc, preAcc)
+	}
+	if !restarted.ReplicasConsistent() {
+		t.Fatal("restored replicas inconsistent")
+	}
+	// And training continues from where it stopped.
+	for i := 0; i < 20; i++ {
+		if _, err := restarted.Step(); err != nil {
+			t.Fatalf("Step after restore: %v", err)
+		}
+	}
+	if restarted.Iteration() != 70 {
+		t.Fatalf("iteration after resume = %d", restarted.Iteration())
+	}
+}
+
+// TestMigrationPreservesTraining migrates a live job's full state to a new
+// "process" (a fresh LiveJob on different goroutines) via Snapshot/Restore
+// — the IO-free path moves the same bytes the hooks replicate — and checks
+// bit-exact continuation.
+func TestMigrationPreservesTraining(t *testing.T) {
+	src := liveJob(t, 4, 32)
+	for i := 0; i < 40; i++ {
+		if _, err := src.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	dst := liveJob(t, 4, 32)
+	if err := dst.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	// Both jobs now step in lockstep and must produce identical losses
+	// (same state, same serial cursor, same data).
+	for i := 0; i < 10; i++ {
+		a, err := src.Step()
+		if err != nil {
+			t.Fatalf("src Step: %v", err)
+		}
+		b, err := dst.Step()
+		if err != nil {
+			t.Fatalf("dst Step: %v", err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("step %d: losses diverged %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestSnapshotValidation covers the restore error paths.
+func TestSnapshotValidation(t *testing.T) {
+	job := liveJob(t, 2, 32)
+	if err := job.RestoreSnapshot(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	snap, err := job.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	bad := *snap
+	bad.TBS = 7 // not divisible by 2 workers
+	if err := job.RestoreSnapshot(&bad); err == nil {
+		t.Fatal("indivisible TBS accepted")
+	}
+	bad = *snap
+	bad.Params = snap.Params[:3]
+	if err := job.RestoreSnapshot(&bad); err == nil {
+		t.Fatal("short params accepted")
+	}
+	bad = *snap
+	bad.LR0 = -1
+	if err := job.RestoreSnapshot(&bad); err == nil {
+		t.Fatal("negative LR accepted")
+	}
+	bad = *snap
+	bad.Cursor = -5
+	if err := job.RestoreSnapshot(&bad); err == nil {
+		t.Fatal("negative cursor accepted")
+	}
+}

@@ -1,0 +1,300 @@
+// Package nn is the pure-Go neural-network substrate: a small multilayer
+// perceptron with ReLU activations and a softmax cross-entropy head, trained
+// by SGD with momentum. It exists so that the batch-size / learning-rate
+// experiments of the paper (Figures 5 and 18) run against genuine
+// optimization dynamics rather than a fitted curve: the accuracy loss at
+// large total batch sizes and its (partial) recovery under the linear
+// scaling rule emerge from actual SGD on a real loss surface.
+//
+// The package also exposes the training state the elastic runtime needs to
+// replicate: flattened parameters and optimizer velocity.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W, B  *tensor.Matrix // parameters
+	GradW *tensor.Matrix // accumulated gradients
+	GradB *tensor.Matrix
+	input *tensor.Matrix // cached for backward
+}
+
+// NewLinear creates a layer with He-initialized weights.
+func NewLinear(rng *rand.Rand, in, out int) (*Linear, error) {
+	w, err := tensor.New(in, out)
+	if err != nil {
+		return nil, fmt.Errorf("nn: linear weights: %w", err)
+	}
+	w.Randn(rng, math.Sqrt(2.0/float64(in)))
+	b, err := tensor.New(1, out)
+	if err != nil {
+		return nil, fmt.Errorf("nn: linear bias: %w", err)
+	}
+	return &Linear{
+		W:     w,
+		B:     b,
+		GradW: tensor.MustNew(in, out),
+		GradB: tensor.MustNew(1, out),
+	}, nil
+}
+
+// Forward computes xW + b and caches x for the backward pass.
+func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	out, err := tensor.MatMul(x, l.W)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.AddRowVector(l.B); err != nil {
+		return nil, err
+	}
+	l.input = x
+	return out, nil
+}
+
+// Backward accumulates parameter gradients and returns the gradient with
+// respect to the layer input.
+func (l *Linear) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if l.input == nil {
+		return nil, fmt.Errorf("nn: backward before forward")
+	}
+	gw, err := tensor.MatMulAT(l.input, grad)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.GradW.Axpy(1, gw); err != nil {
+		return nil, err
+	}
+	if err := l.GradB.Axpy(1, grad.SumRows()); err != nil {
+		return nil, err
+	}
+	return tensor.MatMulBT(grad, l.W)
+}
+
+// MLP is a multilayer perceptron with ReLU between linear layers and raw
+// logits at the output.
+type MLP struct {
+	layers []*Linear
+	masks  []*tensor.Matrix // ReLU masks cached during forward
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. {2, 64, 64, 3} for a
+// 2-feature, 3-class network with two hidden layers of width 64.
+func NewMLP(rng *rand.Rand, sizes []int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least input and output sizes, got %v", sizes)
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		l, err := NewLinear(rng, sizes[i], sizes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m, nil
+}
+
+// Forward runs the network and returns logits.
+func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	m.masks = m.masks[:0]
+	h := x
+	for i, l := range m.layers {
+		var err error
+		h, err = l.Forward(h)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
+		}
+		if i < len(m.layers)-1 {
+			m.masks = append(m.masks, h.ReLU())
+		}
+	}
+	return h, nil
+}
+
+// Backward propagates the loss gradient through the network, accumulating
+// parameter gradients.
+func (m *MLP) Backward(grad *tensor.Matrix) error {
+	g := grad
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		var err error
+		g, err = m.layers[i].Backward(g)
+		if err != nil {
+			return fmt.Errorf("nn: layer %d backward: %w", i, err)
+		}
+		if i > 0 {
+			if err := g.Hadamard(m.masks[i-1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *MLP) ZeroGrads() {
+	for _, l := range m.layers {
+		l.GradW.Zero()
+		l.GradB.Zero()
+	}
+}
+
+// Params returns all parameter matrices in a stable order.
+func (m *MLP) Params() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range m.layers {
+		out = append(out, l.W, l.B)
+	}
+	return out
+}
+
+// Grads returns all gradient matrices in the same order as Params.
+func (m *MLP) Grads() []*tensor.Matrix {
+	var out []*tensor.Matrix
+	for _, l := range m.layers {
+		out = append(out, l.GradW, l.GradB)
+	}
+	return out
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int { return tensor.NumElements(m.Params()...) }
+
+// FlattenParams appends all parameters to dst.
+func (m *MLP) FlattenParams(dst []float64) []float64 {
+	return tensor.FlattenTo(dst, m.Params()...)
+}
+
+// LoadParams copies a flattened parameter vector into the network.
+func (m *MLP) LoadParams(flat []float64) error {
+	n, err := tensor.UnflattenFrom(flat, m.Params()...)
+	if err != nil {
+		return err
+	}
+	if n != len(flat) {
+		return fmt.Errorf("nn: %d of %d values consumed", n, len(flat))
+	}
+	return nil
+}
+
+// FlattenGrads appends all gradients to dst.
+func (m *MLP) FlattenGrads(dst []float64) []float64 {
+	return tensor.FlattenTo(dst, m.Grads()...)
+}
+
+// LoadGrads copies a flattened gradient vector into the network.
+func (m *MLP) LoadGrads(flat []float64) error {
+	_, err := tensor.UnflattenFrom(flat, m.Grads()...)
+	return err
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits against
+// integer labels and returns the loss and the gradient with respect to the
+// logits (already divided by the batch size).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix, error) {
+	if len(labels) != logits.Rows {
+		return 0, nil, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows)
+	}
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	var loss float64
+	grad := probs // reuse: grad = probs - onehot
+	for i, y := range labels {
+		if y < 0 || y >= logits.Cols {
+			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", y, logits.Cols)
+		}
+		p := probs.At(i, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Set(i, y, grad.At(i, y)-1)
+	}
+	n := float64(logits.Rows)
+	loss /= n
+	grad.Scale(1 / n)
+	return loss, grad, nil
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int) (float64, error) {
+	if len(labels) != logits.Rows {
+		return 0, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows)
+	}
+	correct := 0
+	for i, y := range labels {
+		best, bestV := 0, logits.At(i, 0)
+		for j := 1; j < logits.Cols; j++ {
+			if v := logits.At(i, j); v > bestV {
+				best, bestV = j, v
+			}
+		}
+		if best == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels)), nil
+}
+
+// SGD is stochastic gradient descent with momentum. Velocity is part of the
+// training state replicated on elastic adjustments.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []*tensor.Matrix
+}
+
+// NewSGD creates an optimizer for the given parameter shapes.
+func NewSGD(params []*tensor.Matrix, lr, momentum float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: non-positive learning rate %v", lr)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("nn: momentum %v out of [0,1)", momentum)
+	}
+	s := &SGD{LR: lr, Momentum: momentum}
+	for _, p := range params {
+		s.velocity = append(s.velocity, tensor.MustNew(p.Rows, p.Cols))
+	}
+	return s, nil
+}
+
+// Step applies one update: v = mu*v + g; p -= lr*v.
+func (s *SGD) Step(params, grads []*tensor.Matrix) error {
+	if len(params) != len(s.velocity) || len(grads) != len(s.velocity) {
+		return fmt.Errorf("nn: optimizer state mismatch: %d params, %d grads, %d velocities",
+			len(params), len(grads), len(s.velocity))
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		v.Scale(s.Momentum)
+		if err := v.Axpy(1, grads[i]); err != nil {
+			return err
+		}
+		if err := p.Axpy(-s.LR, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlattenState appends the optimizer velocity to dst; part of the replicated
+// GPU state.
+func (s *SGD) FlattenState(dst []float64) []float64 {
+	return tensor.FlattenTo(dst, s.velocity...)
+}
+
+// LoadState restores the optimizer velocity from a flattened vector.
+func (s *SGD) LoadState(flat []float64) error {
+	_, err := tensor.UnflattenFrom(flat, s.velocity...)
+	return err
+}
+
+// StateElements returns the number of float64 values in the optimizer state.
+func (s *SGD) StateElements() int { return tensor.NumElements(s.velocity...) }

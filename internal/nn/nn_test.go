@@ -1,0 +1,388 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+func newNet(t *testing.T, sizes ...int) *MLP {
+	t.Helper()
+	m, err := NewMLP(rand.New(rand.NewSource(42)), sizes)
+	if err != nil {
+		t.Fatalf("NewMLP: %v", err)
+	}
+	return m
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	if _, err := NewMLP(rand.New(rand.NewSource(1)), []int{4}); err == nil {
+		t.Fatal("single-size MLP accepted")
+	}
+	if _, err := NewMLP(rand.New(rand.NewSource(1)), []int{4, 0, 2}); err == nil {
+		t.Fatal("zero-width layer accepted")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	m := newNet(t, 3, 8, 4)
+	x := tensor.MustNew(5, 3)
+	out, err := m.Forward(x)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if out.Rows != 5 || out.Cols != 4 {
+		t.Fatalf("output shape %dx%d, want 5x4", out.Rows, out.Cols)
+	}
+}
+
+func TestBackwardBeforeForward(t *testing.T) {
+	l, err := NewLinear(rand.New(rand.NewSource(1)), 2, 2)
+	if err != nil {
+		t.Fatalf("NewLinear: %v", err)
+	}
+	if _, err := l.Backward(tensor.MustNew(1, 2)); err == nil {
+		t.Fatal("backward before forward accepted")
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.MustNew(2, 4)
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if err != nil {
+		t.Fatalf("SoftmaxCrossEntropy: %v", err)
+	}
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// Gradient rows sum to zero (softmax - onehot).
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 4; j++ {
+			sum += grad.At(i, j)
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Fatalf("grad row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyValidation(t *testing.T) {
+	logits := tensor.MustNew(2, 3)
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0}); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check of the full network loss.
+	rng := rand.New(rand.NewSource(11))
+	m := newNet(t, 3, 5, 3)
+	x := tensor.MustNew(4, 3)
+	x.Randn(rng, 1)
+	labels := []int{0, 1, 2, 1}
+
+	lossOf := func() float64 {
+		out, err := m.Forward(x)
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		loss, _, err := SoftmaxCrossEntropy(out, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		return loss
+	}
+
+	// Analytic gradients.
+	m.ZeroGrads()
+	out, err := m.Forward(x)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	_, grad, err := SoftmaxCrossEntropy(out, labels)
+	if err != nil {
+		t.Fatalf("loss: %v", err)
+	}
+	if err := m.Backward(grad); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	analytic := m.FlattenGrads(nil)
+
+	// Numerical gradients on a sample of parameters.
+	params := m.Params()
+	flatIdx := 0
+	const eps = 1e-6
+	checked := 0
+	for _, p := range params {
+		for i := range p.Data {
+			if (flatIdx+i)%7 == 0 { // sample every 7th parameter
+				orig := p.Data[i]
+				p.Data[i] = orig + eps
+				up := lossOf()
+				p.Data[i] = orig - eps
+				down := lossOf()
+				p.Data[i] = orig
+				num := (up - down) / (2 * eps)
+				ana := analytic[flatIdx+i]
+				if math.Abs(num-ana) > 1e-4*(1+math.Abs(num)) {
+					t.Fatalf("gradient mismatch at %d: numeric %v analytic %v", flatIdx+i, num, ana)
+				}
+				checked++
+			}
+		}
+		flatIdx += len(p.Data)
+	}
+	if checked < 5 {
+		t.Fatalf("only %d gradients checked", checked)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := newNet(t, 2, 16, 2)
+	opt, err := NewSGD(m.Params(), 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	// Linearly separable toy data.
+	n := 64
+	x := tensor.MustNew(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		x.Set(i, 0, float64(cls*2-1)+rng.NormFloat64()*0.3)
+		x.Set(i, 1, rng.NormFloat64()*0.3)
+	}
+	var first, last float64
+	for step := 0; step < 60; step++ {
+		m.ZeroGrads()
+		out, err := m.Forward(x)
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		loss, grad, err := SoftmaxCrossEntropy(out, labels)
+		if err != nil {
+			t.Fatalf("loss: %v", err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		if err := m.Backward(grad); err != nil {
+			t.Fatalf("backward: %v", err)
+		}
+		if err := opt.Step(m.Params(), m.Grads()); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if last > first/4 {
+		t.Fatalf("loss did not drop enough: %v -> %v", first, last)
+	}
+	out, _ := m.Forward(x)
+	acc, err := Accuracy(out, labels)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	if _, err := Accuracy(tensor.MustNew(2, 2), []int{0}); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	m := newNet(t, 3, 4, 2)
+	flat := m.FlattenParams(nil)
+	if len(flat) != m.NumParams() {
+		t.Fatalf("flat len %d != NumParams %d", len(flat), m.NumParams())
+	}
+	m2 := newNet(t, 3, 4, 2)
+	// Different seed paths would give identical nets here, so perturb m.
+	flat[0] = 123.456
+	if err := m.LoadParams(flat); err != nil {
+		t.Fatalf("LoadParams: %v", err)
+	}
+	if err := m2.LoadParams(m.FlattenParams(nil)); err != nil {
+		t.Fatalf("LoadParams m2: %v", err)
+	}
+	f2 := m2.FlattenParams(nil)
+	for i := range flat {
+		if flat[i] != f2[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if err := m.LoadParams(flat[:3]); err == nil {
+		t.Fatal("short LoadParams accepted")
+	}
+	if err := m.LoadParams(append(flat, 1)); err == nil {
+		t.Fatal("long LoadParams accepted")
+	}
+}
+
+func TestGradsRoundTrip(t *testing.T) {
+	m := newNet(t, 2, 3, 2)
+	x := tensor.MustNew(4, 2)
+	out, _ := m.Forward(x)
+	_, grad, _ := SoftmaxCrossEntropy(out, []int{0, 1, 0, 1})
+	if err := m.Backward(grad); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	flat := m.FlattenGrads(nil)
+	m.ZeroGrads()
+	if err := m.LoadGrads(flat); err != nil {
+		t.Fatalf("LoadGrads: %v", err)
+	}
+	f2 := m.FlattenGrads(nil)
+	for i := range flat {
+		if flat[i] != f2[i] {
+			t.Fatalf("grads round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	m := newNet(t, 2, 2)
+	if _, err := NewSGD(m.Params(), 0, 0.9); err == nil {
+		t.Fatal("zero LR accepted")
+	}
+	if _, err := NewSGD(m.Params(), 0.1, 1.0); err == nil {
+		t.Fatal("momentum 1.0 accepted")
+	}
+	opt, err := NewSGD(m.Params(), 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	if err := opt.Step(m.Params()[:1], m.Grads()); err == nil {
+		t.Fatal("mismatched Step accepted")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	// One parameter, constant gradient 1: with momentum 0.5 and lr 1,
+	// updates are 1, 1.5, 1.75, ...
+	p := tensor.MustNew(1, 1)
+	g := tensor.MustNew(1, 1)
+	g.Data[0] = 1
+	opt, err := NewSGD([]*tensor.Matrix{p}, 1, 0.5)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	want := []float64{-1, -2.5, -4.25}
+	for i, w := range want {
+		if err := opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g}); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if math.Abs(p.Data[0]-w) > 1e-12 {
+			t.Fatalf("after step %d: p = %v, want %v", i+1, p.Data[0], w)
+		}
+	}
+}
+
+func TestSGDStateRoundTrip(t *testing.T) {
+	m := newNet(t, 2, 3, 2)
+	opt, err := NewSGD(m.Params(), 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	// Take a step so the velocity is nonzero.
+	x := tensor.MustNew(2, 2)
+	out, _ := m.Forward(x)
+	_, grad, _ := SoftmaxCrossEntropy(out, []int{0, 1})
+	if err := m.Backward(grad); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	if err := opt.Step(m.Params(), m.Grads()); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	state := opt.FlattenState(nil)
+	if len(state) != opt.StateElements() {
+		t.Fatalf("state len %d != %d", len(state), opt.StateElements())
+	}
+	opt2, err := NewSGD(m.Params(), 0.1, 0.9)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	if err := opt2.LoadState(state); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	s2 := opt2.FlattenState(nil)
+	for i := range state {
+		if state[i] != s2[i] {
+			t.Fatalf("state mismatch at %d", i)
+		}
+	}
+}
+
+func TestGradientLinearityProperty(t *testing.T) {
+	// Property: gradients accumulated over two backward passes equal the
+	// sum of gradients of each pass (linearity of accumulation).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewMLP(rng, []int{2, 4, 2})
+		if err != nil {
+			return false
+		}
+		x1 := tensor.MustNew(3, 2)
+		x2 := tensor.MustNew(3, 2)
+		x1.Randn(rng, 1)
+		x2.Randn(rng, 1)
+		labels := []int{0, 1, 0}
+
+		runOnce := func(x *tensor.Matrix) []float64 {
+			m.ZeroGrads()
+			out, err := m.Forward(x)
+			if err != nil {
+				return nil
+			}
+			_, g, err := SoftmaxCrossEntropy(out, labels)
+			if err != nil {
+				return nil
+			}
+			if err := m.Backward(g); err != nil {
+				return nil
+			}
+			return m.FlattenGrads(nil)
+		}
+		g1 := runOnce(x1)
+		g2 := runOnce(x2)
+		// Accumulate both.
+		m.ZeroGrads()
+		for _, x := range []*tensor.Matrix{x1, x2} {
+			out, err := m.Forward(x)
+			if err != nil {
+				return false
+			}
+			_, g, err := SoftmaxCrossEntropy(out, labels)
+			if err != nil {
+				return false
+			}
+			if err := m.Backward(g); err != nil {
+				return false
+			}
+		}
+		acc := m.FlattenGrads(nil)
+		for i := range acc {
+			if math.Abs(acc[i]-(g1[i]+g2[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

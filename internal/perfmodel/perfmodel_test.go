@@ -1,0 +1,278 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/models"
+)
+
+func TestAllreduceTimeBasics(t *testing.T) {
+	cm := DefaultCommModel()
+	if got := cm.AllreduceTime(1, 1<<20); got != 0 {
+		t.Fatalf("single-worker allreduce = %v, want 0", got)
+	}
+	if got := cm.AllreduceTime(4, 0); got != 0 {
+		t.Fatalf("zero-byte allreduce = %v, want 0", got)
+	}
+	small := cm.AllreduceTime(4, 1<<20)
+	big := cm.AllreduceTime(4, 1<<28)
+	if big <= small {
+		t.Fatalf("allreduce not monotone in size: %v <= %v", big, small)
+	}
+}
+
+func TestAllreduceCrossNodeSlower(t *testing.T) {
+	cm := DefaultCommModel()
+	bytes := int64(100 << 20)
+	intra := cm.AllreduceTime(8, bytes)
+	inter := cm.AllreduceTime(16, bytes)
+	// Per-byte the 16-worker ring is slower because it crosses the network.
+	if inter <= intra {
+		t.Fatalf("16-worker allreduce %v not slower than 8-worker %v", inter, intra)
+	}
+}
+
+func TestIterTimeValidation(t *testing.T) {
+	p := Default()
+	m := models.ResNet50()
+	if _, err := p.IterTime(m, 0, 32); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := p.IterTime(m, 4, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestThroughputTBSValidation(t *testing.T) {
+	p := Default()
+	m := models.ResNet50()
+	if _, err := p.ThroughputTBS(m, 3, 128); err == nil {
+		t.Fatal("non-divisible TBS accepted")
+	}
+	if _, err := p.ThroughputTBS(m, 0, 128); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestStrongScalingRisesThenFalls(t *testing.T) {
+	p := Default()
+	for _, m := range models.Zoo() {
+		tbs := 512
+		if tbs/1 > m.MaxPerWorkerBatch {
+			// start from the smallest feasible N
+		}
+		curve := p.StrongScalingCurve(m, tbs, PowersOfTwo(128))
+		if curve.Len() < 3 {
+			t.Fatalf("%s: strong curve too short (%d points)", m.Name, curve.Len())
+		}
+		// Find the peak; it must not be at the last point (falls eventually)
+		// and throughput must strictly decrease after the peak.
+		peak := 0
+		for i := range curve.Y {
+			if curve.Y[i] > curve.Y[peak] {
+				peak = i
+			}
+		}
+		if peak == curve.Len()-1 {
+			t.Errorf("%s: strong scaling never falls (peak at last point N=%v)", m.Name, curve.X[peak])
+		}
+		for i := peak + 1; i < curve.Len(); i++ {
+			if curve.Y[i] >= curve.Y[i-1] {
+				t.Errorf("%s: throughput not decreasing after peak at N=%v", m.Name, curve.X[i])
+			}
+		}
+	}
+}
+
+func TestWeakScalingNearLinear(t *testing.T) {
+	p := Default()
+	for _, m := range models.Zoo() {
+		bs := m.MaxPerWorkerBatch / 2
+		curve := p.WeakScalingCurve(m, bs, PowersOfTwo(64))
+		if curve.Len() < 5 {
+			t.Fatalf("%s: weak curve too short", m.Name)
+		}
+		// Throughput at 64 workers must be at least 60% of perfect linear
+		// scaling from 1 worker (the paper's curves are near-linear).
+		perfect := curve.Y[0] * 64
+		if curve.Y[curve.Len()-1] < 0.6*perfect {
+			t.Errorf("%s: weak scaling efficiency %.2f < 0.6", m.Name, curve.Y[curve.Len()-1]/perfect)
+		}
+		// And it must be monotonically increasing.
+		for i := 1; i < curve.Len(); i++ {
+			if curve.Y[i] <= curve.Y[i-1] {
+				t.Errorf("%s: weak scaling not monotone at N=%v", m.Name, curve.X[i])
+			}
+		}
+	}
+}
+
+func TestWeakScalingSlopeGrowsWithBatch(t *testing.T) {
+	// Observation 2 of Section III: a larger per-worker batch yields a
+	// steeper weak-scaling curve (higher per-worker throughput).
+	p := Default()
+	m := models.ResNet50()
+	smallCurve := p.WeakScalingCurve(m, 8, []int{1, 64})
+	largeCurve := p.WeakScalingCurve(m, 64, []int{1, 64})
+	slopeSmall := (smallCurve.Y[1] - smallCurve.Y[0]) / 63
+	slopeLarge := (largeCurve.Y[1] - largeCurve.Y[0]) / 63
+	if slopeLarge <= slopeSmall {
+		t.Fatalf("slope(bs=64)=%v <= slope(bs=8)=%v", slopeLarge, slopeSmall)
+	}
+}
+
+func TestOptimalWorkersGrowsWithTBS(t *testing.T) {
+	// Observation 2: the optimal strong-scaling worker count grows with TBS.
+	p := Default()
+	for _, m := range models.Zoo() {
+		prev := 0
+		for _, tbs := range []int{128, 512, 2048} {
+			n, err := p.OptimalWorkers(m, tbs, 1024)
+			if err != nil {
+				t.Fatalf("%s TBS=%d: %v", m.Name, tbs, err)
+			}
+			if n < prev {
+				t.Errorf("%s: optimal workers decreased: TBS=%d -> N=%d (prev %d)", m.Name, tbs, n, prev)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestOptimalWorkersRespectsMemory(t *testing.T) {
+	p := Default()
+	m := models.ResNet50() // max 64 per worker
+	// TBS 2048 with max 16 workers would need 128/worker: infeasible.
+	if _, err := p.OptimalWorkers(m, 2048, 16); err == nil {
+		t.Fatal("memory-infeasible config accepted")
+	}
+	n, err := p.OptimalWorkers(m, 2048, 1024)
+	if err != nil {
+		t.Fatalf("OptimalWorkers: %v", err)
+	}
+	if 2048/n > m.MaxPerWorkerBatch {
+		t.Fatalf("optimal N=%d violates memory limit", n)
+	}
+}
+
+func TestOptimalWorkersValidation(t *testing.T) {
+	p := Default()
+	if _, err := p.OptimalWorkers(models.ResNet50(), 0, 64); err == nil {
+		t.Fatal("zero TBS accepted")
+	}
+}
+
+func TestEpochTime(t *testing.T) {
+	p := Default()
+	m := models.ResNet50()
+	et, err := p.EpochTime(m, 16, 32, m.DatasetSamples)
+	if err != nil {
+		t.Fatalf("EpochTime: %v", err)
+	}
+	it, _ := p.IterTime(m, 16, 32)
+	iters := (m.DatasetSamples + 511) / 512
+	if et != time.Duration(iters)*it {
+		t.Fatalf("EpochTime = %v, want %v", et, time.Duration(iters)*it)
+	}
+	// Double the workers at the same per-worker batch: epoch must shrink.
+	et2, _ := p.EpochTime(m, 32, 32, m.DatasetSamples)
+	if et2 >= et {
+		t.Fatalf("epoch time did not shrink: %v -> %v", et, et2)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(64)
+	want := []int{1, 2, 4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("PowersOfTwo = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOfTwo = %v", got)
+		}
+	}
+}
+
+func TestJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := time.Second
+	var minF, maxF float64 = 10, 0
+	for i := 0; i < 1000; i++ {
+		j := Jitter(rng, d, 0.05)
+		f := float64(j) / float64(d)
+		if f < minF {
+			minF = f
+		}
+		if f > maxF {
+			maxF = f
+		}
+		if j <= 0 {
+			t.Fatal("jittered duration non-positive")
+		}
+	}
+	if minF > 0.95 || maxF < 1.05 {
+		t.Fatalf("jitter spread too small: [%v, %v]", minF, maxF)
+	}
+	if got := Jitter(rng, d, 0); got != d {
+		t.Fatalf("zero-rel jitter changed value: %v", got)
+	}
+}
+
+func TestResNetPaperConfiguration(t *testing.T) {
+	// Section VI-B uses 16 workers at TBS 512, 32 at 1024, 64 at 2048,
+	// guided by the strong-scaling curves of Figure 17. Our model must agree
+	// that those worker counts do not exceed the optimum (resources are not
+	// wasted at those operating points).
+	p := Default()
+	m := models.ResNet50()
+	for _, c := range []struct{ tbs, workers int }{{512, 16}, {1024, 32}, {2048, 64}} {
+		nOpt, err := p.OptimalWorkers(m, c.tbs, 1024)
+		if err != nil {
+			t.Fatalf("OptimalWorkers(%d): %v", c.tbs, err)
+		}
+		if nOpt < c.workers {
+			t.Errorf("TBS=%d: optimal workers %d < paper's %d", c.tbs, nOpt, c.workers)
+		}
+	}
+}
+
+func TestIterTimeStraggler(t *testing.T) {
+	p := Default()
+	m := models.ResNet50()
+	base, err := p.IterTime(m, 16, 32)
+	if err != nil {
+		t.Fatalf("IterTime: %v", err)
+	}
+	same, err := p.IterTimeStraggler(m, 16, 32, 1)
+	if err != nil || same != base {
+		t.Fatalf("factor-1 straggler = %v, want %v (%v)", same, base, err)
+	}
+	slow, err := p.IterTimeStraggler(m, 16, 32, 2)
+	if err != nil {
+		t.Fatalf("IterTimeStraggler: %v", err)
+	}
+	if slow <= base {
+		t.Fatalf("straggler iter %v not slower than %v", slow, base)
+	}
+	// The whole job is bound by the slow rank: close to 2x for a
+	// compute-bound configuration.
+	ratio := float64(slow) / float64(base)
+	if ratio < 1.5 || ratio > 2.2 {
+		t.Fatalf("slowdown ratio %.2f outside [1.5, 2.2]", ratio)
+	}
+	if _, err := p.IterTimeStraggler(m, 16, 32, 0.5); err == nil {
+		t.Fatal("factor < 1 accepted")
+	}
+	// Single worker: the factor applies directly.
+	one, err := p.IterTimeStraggler(m, 1, 32, 3)
+	if err != nil {
+		t.Fatalf("IterTimeStraggler: %v", err)
+	}
+	oneBase, _ := p.IterTime(m, 1, 32)
+	if one != 3*oneBase {
+		t.Fatalf("single-worker straggler = %v, want %v", one, 3*oneBase)
+	}
+}

@@ -1,0 +1,226 @@
+package replication
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+func cluster(t *testing.T) *topology.Cluster {
+	t.Helper()
+	c, err := topology.NewCluster(topology.DefaultGeometry())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func TestNewPlanPicksNearestSources(t *testing.T) {
+	existing := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 0, Index: 0},
+		{Node: 1, Socket: 0, Switch: 0, Index: 0},
+	}
+	newWorkers := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 0, Index: 1}, // L1 to existing[0]
+		{Node: 1, Socket: 1, Switch: 0, Index: 0}, // L3 to existing[1]
+	}
+	p, err := NewPlan(existing, newWorkers, 100<<20, 64<<10)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if len(p.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(p.Pairs))
+	}
+	if p.Pairs[0].Source != existing[0] || p.Pairs[0].Via != topology.P2P {
+		t.Fatalf("pair 0 = %+v", p.Pairs[0])
+	}
+	if p.Pairs[1].Source != existing[1] || p.Pairs[1].Via != topology.SHM {
+		t.Fatalf("pair 1 = %+v", p.Pairs[1])
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(nil, []topology.GPUID{{}}, 1, 1); err == nil {
+		t.Fatal("empty existing set accepted")
+	}
+	if _, err := NewPlan([]topology.GPUID{{}}, nil, -1, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestPlanDurationConcurrent(t *testing.T) {
+	c := cluster(t)
+	// Two L1 replications on different switches: fully concurrent, so the
+	// plan takes one pair's time, not two.
+	existing := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 0, Index: 0},
+		{Node: 0, Socket: 1, Switch: 0, Index: 0},
+	}
+	newWorkers := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 0, Index: 1},
+		{Node: 0, Socket: 1, Switch: 0, Index: 1},
+	}
+	p, err := NewPlan(existing, newWorkers, 1<<30, 64<<10)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	dur := p.Duration(c)
+	single := p.MaxPairTime(c)
+	if dur != single {
+		t.Fatalf("concurrent plan = %v, want single-pair time %v", dur, single)
+	}
+}
+
+func TestPlanDurationContentionSerializes(t *testing.T) {
+	c := cluster(t)
+	// Two L3 replications on the same node share the QPI link: they must
+	// serialize (paper: "when multiple replications incur contention ... we
+	// perform them in turn").
+	existing := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 0, Index: 0},
+		{Node: 0, Socket: 0, Switch: 0, Index: 1},
+	}
+	newWorkers := []topology.GPUID{
+		{Node: 0, Socket: 1, Switch: 0, Index: 0},
+		{Node: 0, Socket: 1, Switch: 0, Index: 1},
+	}
+	p, err := NewPlan(existing, newWorkers, 1<<30, 0)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	for _, pair := range p.Pairs {
+		if pair.Level != topology.L3 {
+			t.Fatalf("pair level = %v, want L3", pair.Level)
+		}
+	}
+	dur := p.Duration(c)
+	single := c.TransferTime(existing[0], newWorkers[0], 1<<30)
+	if dur < 2*single-time.Millisecond {
+		t.Fatalf("contended plan = %v, want ~2x single %v", dur, single)
+	}
+}
+
+func TestNaivePlanSlower(t *testing.T) {
+	c := cluster(t)
+	// Existing workers on nodes 0 and 1; new workers land next to each of
+	// them. The topology-aware plan uses two concurrent intra-node SHM
+	// transfers; the naive plan pushes everything from existing[0], one
+	// transfer crossing the network, all sequential.
+	existing := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 0, Index: 0},
+		{Node: 1, Socket: 0, Switch: 0, Index: 0},
+	}
+	newWorkers := []topology.GPUID{
+		{Node: 0, Socket: 0, Switch: 1, Index: 0}, // L2 to existing[0]
+		{Node: 1, Socket: 0, Switch: 1, Index: 0}, // L2 to existing[1]
+	}
+	aware, err := NewPlan(existing, newWorkers, 200<<20, 64<<10)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	naive, err := NewNaivePlan(existing, newWorkers, 200<<20, 64<<10)
+	if err != nil {
+		t.Fatalf("NewNaivePlan: %v", err)
+	}
+	if aware.Duration(c) >= naive.Duration(c) {
+		t.Fatalf("topology-aware (%v) not faster than naive (%v)",
+			aware.Duration(c), naive.Duration(c))
+	}
+}
+
+func TestPaperExampleTwoParallelReplications(t *testing.T) {
+	// Figure 9's scenario: E replicates from C (same socket), F from D
+	// (same node), concurrently.
+	a := topology.GPUID{Node: 0, Socket: 0, Switch: 0, Index: 0}
+	b := topology.GPUID{Node: 0, Socket: 0, Switch: 0, Index: 1}
+	cw := topology.GPUID{Node: 0, Socket: 1, Switch: 0, Index: 0}
+	d := topology.GPUID{Node: 1, Socket: 0, Switch: 0, Index: 0}
+	e := topology.GPUID{Node: 0, Socket: 1, Switch: 0, Index: 1}
+	f := topology.GPUID{Node: 1, Socket: 0, Switch: 1, Index: 0}
+	p, err := NewPlan([]topology.GPUID{a, b, cw, d}, []topology.GPUID{e, f}, 100<<20, 8)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	if p.Pairs[0].Source != cw {
+		t.Fatalf("E's source = %v, want C", p.Pairs[0].Source)
+	}
+	if p.Pairs[1].Source != d {
+		t.Fatalf("F's source = %v, want D", p.Pairs[1].Source)
+	}
+	clu := cluster(t)
+	if p.Duration(clu) != p.MaxPairTime(clu) {
+		t.Fatal("the two replications did not run concurrently")
+	}
+}
+
+func TestEmptyPlanDuration(t *testing.T) {
+	c := cluster(t)
+	p := &Plan{}
+	if p.Duration(c) != 0 {
+		t.Fatal("empty plan has nonzero duration")
+	}
+}
+
+func TestCopierHooks(t *testing.T) {
+	c := NewCopier()
+	if err := c.RegisterHook(Hook{Kind: "", Copy: func(a, b int) error { return nil }}); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+	if err := c.RegisterHook(Hook{Kind: "model"}); err == nil {
+		t.Fatal("nil copy function accepted")
+	}
+	var calls []string
+	mk := func(kind string) Hook {
+		return Hook{Kind: kind, Copy: func(src, dst int) error {
+			calls = append(calls, kind)
+			return nil
+		}}
+	}
+	for _, k := range []string{"model", "optimizer", "data", "runtime"} {
+		if err := c.RegisterHook(mk(k)); err != nil {
+			t.Fatalf("RegisterHook(%s): %v", k, err)
+		}
+	}
+	if got := len(c.Kinds()); got != 4 {
+		t.Fatalf("Kinds = %v", c.Kinds())
+	}
+	if err := c.Execute(0, 1); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(calls) != 4 || calls[0] != "model" || calls[3] != "runtime" {
+		t.Fatalf("hook order = %v", calls)
+	}
+}
+
+func TestCopierReplaceHook(t *testing.T) {
+	c := NewCopier()
+	v := 0
+	if err := c.RegisterHook(Hook{Kind: "model", Copy: func(a, b int) error { v = 1; return nil }}); err != nil {
+		t.Fatalf("RegisterHook: %v", err)
+	}
+	if err := c.RegisterHook(Hook{Kind: "model", Copy: func(a, b int) error { v = 2; return nil }}); err != nil {
+		t.Fatalf("RegisterHook replace: %v", err)
+	}
+	if len(c.Kinds()) != 1 {
+		t.Fatalf("Kinds = %v", c.Kinds())
+	}
+	if err := c.Execute(0, 1); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if v != 2 {
+		t.Fatalf("v = %d, replacement not effective", v)
+	}
+}
+
+func TestCopierHookError(t *testing.T) {
+	c := NewCopier()
+	boom := errors.New("boom")
+	if err := c.RegisterHook(Hook{Kind: "model", Copy: func(a, b int) error { return boom }}); err != nil {
+		t.Fatalf("RegisterHook: %v", err)
+	}
+	if err := c.Execute(0, 1); !errors.Is(err, boom) {
+		t.Fatalf("Execute = %v, want boom", err)
+	}
+}

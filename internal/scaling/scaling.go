@@ -1,0 +1,174 @@
+// Package scaling implements the paper's hybrid scaling mechanism
+// (Section III, Algorithm 1): the co-design of system and algorithm that
+// decides, on every resource adjustment, (a) the new total batch size —
+// preferring strong scaling and falling back to progressive weak scaling
+// only when strong scaling would under-utilize the new workers — and (b)
+// the learning-rate trajectory, applying the progressive linear scaling
+// rule (Equations 1-3) so that a batch-size increase does not destabilize
+// the optimization.
+package scaling
+
+import (
+	"fmt"
+
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/perfmodel"
+)
+
+// Decision is the outcome of the hybrid scaling mechanism for one
+// adjustment.
+type Decision struct {
+	// TotalBatch is the total batch size after the adjustment.
+	TotalBatch int
+	// Factor is the batch scaling factor k = TotalBatch / previous.
+	Factor float64
+	// Strong reports whether pure strong scaling was chosen (k == 1).
+	Strong bool
+	// TargetLR is the learning rate after the progressive adjustment.
+	TargetLR float64
+}
+
+// Config parametrizes the mechanism.
+type Config struct {
+	// Perf supplies OptimalWorkers (Algorithm 1, line 9).
+	Perf *perfmodel.Perf
+	// MaxWorkersProbe bounds the optimal-worker search.
+	MaxWorkersProbe int
+	// RampIterations is T, the number of iterations over which the learning
+	// rate moves linearly to its target (the paper uses 100 for ResNet-50).
+	RampIterations int
+}
+
+// DefaultConfig returns the configuration used in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		Perf:            perfmodel.Default(),
+		MaxWorkersProbe: 1024,
+		RampIterations:  100,
+	}
+}
+
+// Mechanism is the hybrid scaling decision engine.
+type Mechanism struct {
+	cfg Config
+}
+
+// New constructs a Mechanism, validating the configuration.
+func New(cfg Config) (*Mechanism, error) {
+	if cfg.Perf == nil {
+		return nil, fmt.Errorf("scaling: nil performance model")
+	}
+	if cfg.MaxWorkersProbe <= 0 {
+		cfg.MaxWorkersProbe = 1024
+	}
+	if cfg.RampIterations <= 0 {
+		cfg.RampIterations = 100
+	}
+	return &Mechanism{cfg: cfg}, nil
+}
+
+// TotalBatchSize implements Algorithm 1's GETTOTALBATCHSIZE: scaling a job
+// from oldWorkers (at total batch size oldTBS) to newWorkers, it returns
+// the smallest total batch size TBS' = k*oldTBS (k a power of two,
+// k <= newWorkers/oldWorkers) whose optimal strong-scaling worker count is
+// at least newWorkers; if no such k exists it falls back to full weak
+// scaling (k = newWorkers/oldWorkers).
+func (h *Mechanism) TotalBatchSize(m models.Model, oldWorkers, oldTBS, newWorkers int) (int, error) {
+	if oldWorkers <= 0 || newWorkers <= 0 || oldTBS <= 0 {
+		return 0, fmt.Errorf("scaling: invalid transition %d->%d workers TBS=%d",
+			oldWorkers, newWorkers, oldTBS)
+	}
+	if oldTBS%oldWorkers != 0 {
+		return 0, fmt.Errorf("scaling: TBS %d not divisible by %d workers", oldTBS, oldWorkers)
+	}
+	// Scaling in or migrating: strong scaling always suffices — the batch
+	// per worker only grows. Guard GPU memory: if the shrunken worker set
+	// cannot hold the batch, the caller must reject the adjustment.
+	if newWorkers <= oldWorkers {
+		if oldTBS/newWorkers > m.MaxPerWorkerBatch {
+			return 0, fmt.Errorf("scaling: TBS %d does not fit on %d workers of %s (max %d/worker)",
+				oldTBS, newWorkers, m.Name, m.MaxPerWorkerBatch)
+		}
+		return oldTBS, nil
+	}
+	ratio := newWorkers / oldWorkers
+	for k := 1; k <= ratio; k *= 2 {
+		tbs := k * oldTBS
+		if tbs%newWorkers != 0 {
+			continue
+		}
+		nOpt, err := h.cfg.Perf.OptimalWorkers(m, tbs, h.cfg.MaxWorkersProbe)
+		if err != nil {
+			continue // infeasible trial (e.g. memory); try a larger batch
+		}
+		if nOpt >= newWorkers {
+			return tbs, nil
+		}
+	}
+	// All trials failed: plain weak scaling by the resource ratio.
+	tbs := oldTBS * ratio
+	if tbs/newWorkers > m.MaxPerWorkerBatch {
+		return 0, fmt.Errorf("scaling: weak-scaled TBS %d does not fit on %d workers of %s",
+			tbs, newWorkers, m.Name)
+	}
+	return tbs, nil
+}
+
+// Decide runs the full mechanism: the new total batch size plus the target
+// learning rate lr_T = lr_0 * k (Equation 2).
+func (h *Mechanism) Decide(m models.Model, oldWorkers, oldTBS, newWorkers int, lr0 float64) (Decision, error) {
+	if lr0 <= 0 {
+		return Decision{}, fmt.Errorf("scaling: non-positive learning rate %v", lr0)
+	}
+	tbs, err := h.TotalBatchSize(m, oldWorkers, oldTBS, newWorkers)
+	if err != nil {
+		return Decision{}, err
+	}
+	k := float64(tbs) / float64(oldTBS)
+	return Decision{
+		TotalBatch: tbs,
+		Factor:     k,
+		Strong:     tbs == oldTBS,
+		TargetLR:   lr0 * k,
+	}, nil
+}
+
+// RampIterations returns T, for building LR schedules.
+func (h *Mechanism) RampIterations() int { return h.cfg.RampIterations }
+
+// LRSchedule is the progressive linear scaling rule (Equation 3): the
+// learning rate moves linearly from lr0 to lrT over [T0, T0+T) and stays at
+// lrT afterwards.
+type LRSchedule struct {
+	LR0, LRT float64
+	T0, T    int
+}
+
+// NewLRSchedule builds a schedule starting at iteration t0, ramping over
+// rampIters iterations.
+func NewLRSchedule(lr0, lrT float64, t0, rampIters int) (*LRSchedule, error) {
+	if lr0 <= 0 || lrT <= 0 {
+		return nil, fmt.Errorf("scaling: non-positive learning rates %v -> %v", lr0, lrT)
+	}
+	if rampIters < 0 || t0 < 0 {
+		return nil, fmt.Errorf("scaling: negative schedule bounds t0=%d T=%d", t0, rampIters)
+	}
+	return &LRSchedule{LR0: lr0, LRT: lrT, T0: t0, T: rampIters}, nil
+}
+
+// At returns the learning rate at iteration t (Equation 3). Iterations
+// before T0 use lr0.
+func (s *LRSchedule) At(t int) float64 {
+	switch {
+	case t < s.T0:
+		return s.LR0
+	case s.T == 0 || t >= s.T0+s.T:
+		return s.LRT
+	default:
+		frac := float64(t-s.T0) / float64(s.T)
+		return s.LR0 + frac*(s.LRT-s.LR0)
+	}
+}
+
+// Done reports whether the ramp has completed at iteration t.
+func (s *LRSchedule) Done(t int) bool { return t >= s.T0+s.T }

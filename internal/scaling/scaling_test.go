@@ -1,0 +1,245 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/perfmodel"
+)
+
+func mech(t *testing.T) *Mechanism {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil perf model accepted")
+	}
+	m, err := New(Config{Perf: perfmodel.Default()})
+	if err != nil {
+		t.Fatalf("New with defaults: %v", err)
+	}
+	if m.RampIterations() != 100 {
+		t.Fatalf("default ramp = %d", m.RampIterations())
+	}
+}
+
+func TestStrongScalingPreferred(t *testing.T) {
+	// ResNet-50, TBS 512: the model's optimal strong-scaling worker count is
+	// >= 32, so scaling 16 -> 32 must keep the batch size (strong scaling).
+	h := mech(t)
+	m := models.ResNet50()
+	tbs, err := h.TotalBatchSize(m, 16, 512, 32)
+	if err != nil {
+		t.Fatalf("TotalBatchSize: %v", err)
+	}
+	if tbs != 512 {
+		t.Fatalf("TBS = %d, want 512 (strong scaling)", tbs)
+	}
+}
+
+func TestWeakScalingWhenStrongExhausted(t *testing.T) {
+	// Scale far beyond the strong-scaling optimum: the mechanism must grow
+	// the batch (weak scaling), choosing the minimal power-of-two factor
+	// whose optimum covers the new worker count.
+	h := mech(t)
+	m := models.ResNet50()
+	p := perfmodel.Default()
+	newWorkers := 512
+	tbs, err := h.TotalBatchSize(m, 16, 512, newWorkers)
+	if err != nil {
+		t.Fatalf("TotalBatchSize: %v", err)
+	}
+	if tbs <= 512 {
+		t.Fatalf("TBS = %d, want weak scaling beyond 512", tbs)
+	}
+	// Minimality: half the chosen factor must NOT satisfy the requirement.
+	if tbs > 1024 {
+		nOpt, err := p.OptimalWorkers(m, tbs/2, 1024)
+		if err == nil && nOpt >= newWorkers {
+			t.Fatalf("TBS %d not minimal: %d already suffices", tbs, tbs/2)
+		}
+	}
+	// And the chosen one (or the fallback) must be k*512 for a power-of-2 k.
+	k := tbs / 512
+	if tbs%512 != 0 || k&(k-1) != 0 {
+		t.Fatalf("TBS %d is not a power-of-two multiple of 512", tbs)
+	}
+}
+
+func TestScaleInKeepsBatch(t *testing.T) {
+	h := mech(t)
+	m := models.ResNet50()
+	tbs, err := h.TotalBatchSize(m, 32, 1024, 16)
+	if err != nil {
+		t.Fatalf("TotalBatchSize: %v", err)
+	}
+	if tbs != 1024 {
+		t.Fatalf("scale-in TBS = %d, want unchanged 1024", tbs)
+	}
+}
+
+func TestScaleInMemoryGuard(t *testing.T) {
+	h := mech(t)
+	m := models.ResNet50() // max 64/worker
+	// 2048 on 16 workers would need 128/worker.
+	if _, err := h.TotalBatchSize(m, 64, 2048, 16); err == nil {
+		t.Fatal("memory-violating scale-in accepted")
+	}
+}
+
+func TestMigrationUnchanged(t *testing.T) {
+	h := mech(t)
+	m := models.VGG19()
+	tbs, err := h.TotalBatchSize(m, 8, 256, 8)
+	if err != nil {
+		t.Fatalf("TotalBatchSize: %v", err)
+	}
+	if tbs != 256 {
+		t.Fatalf("migration TBS = %d, want 256", tbs)
+	}
+}
+
+func TestTotalBatchSizeValidation(t *testing.T) {
+	h := mech(t)
+	m := models.ResNet50()
+	if _, err := h.TotalBatchSize(m, 0, 512, 16); err == nil {
+		t.Fatal("zero old workers accepted")
+	}
+	if _, err := h.TotalBatchSize(m, 16, 0, 32); err == nil {
+		t.Fatal("zero TBS accepted")
+	}
+	if _, err := h.TotalBatchSize(m, 16, 100, 32); err == nil {
+		t.Fatal("non-divisible TBS accepted")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	h := mech(t)
+	m := models.ResNet50()
+	d, err := h.Decide(m, 16, 512, 32, 0.1)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !d.Strong || d.Factor != 1 || math.Abs(d.TargetLR-0.1) > 1e-12 {
+		t.Fatalf("strong decision = %+v", d)
+	}
+	d2, err := h.Decide(m, 16, 512, 512, 0.1)
+	if err != nil {
+		t.Fatalf("Decide weak: %v", err)
+	}
+	if d2.Strong {
+		t.Fatalf("expected weak scaling: %+v", d2)
+	}
+	// Linear scaling rule: lr_T = lr_0 * k (Equation 2).
+	if math.Abs(d2.TargetLR-0.1*d2.Factor) > 1e-12 {
+		t.Fatalf("TargetLR = %v, want %v", d2.TargetLR, 0.1*d2.Factor)
+	}
+	if _, err := h.Decide(m, 16, 512, 32, 0); err == nil {
+		t.Fatal("zero LR accepted")
+	}
+}
+
+func TestLRScheduleEquation3(t *testing.T) {
+	s, err := NewLRSchedule(0.1, 0.2, 1000, 100)
+	if err != nil {
+		t.Fatalf("NewLRSchedule: %v", err)
+	}
+	// Before the adjustment begins.
+	if got := s.At(999); got != 0.1 {
+		t.Fatalf("At(999) = %v", got)
+	}
+	// Start of the ramp.
+	if got := s.At(1000); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("At(1000) = %v", got)
+	}
+	// Midpoint.
+	if got := s.At(1050); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("At(1050) = %v, want 0.15", got)
+	}
+	// After the ramp.
+	if got := s.At(1100); got != 0.2 {
+		t.Fatalf("At(1100) = %v", got)
+	}
+	if got := s.At(5000); got != 0.2 {
+		t.Fatalf("At(5000) = %v", got)
+	}
+	if s.Done(1099) || !s.Done(1100) {
+		t.Fatal("Done boundary wrong")
+	}
+}
+
+func TestLRScheduleMonotoneWhenIncreasing(t *testing.T) {
+	s, err := NewLRSchedule(0.1, 0.8, 0, 50)
+	if err != nil {
+		t.Fatalf("NewLRSchedule: %v", err)
+	}
+	prev := 0.0
+	for t2 := 0; t2 <= 60; t2++ {
+		v := s.At(t2)
+		if v < prev-1e-12 {
+			t.Fatalf("LR decreased at %d: %v < %v", t2, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLRScheduleZeroRamp(t *testing.T) {
+	s, err := NewLRSchedule(0.1, 0.4, 10, 0)
+	if err != nil {
+		t.Fatalf("NewLRSchedule: %v", err)
+	}
+	if got := s.At(10); got != 0.4 {
+		t.Fatalf("zero-ramp At(10) = %v, want immediate target", got)
+	}
+	if got := s.At(9); got != 0.1 {
+		t.Fatalf("At(9) = %v", got)
+	}
+}
+
+func TestLRScheduleValidation(t *testing.T) {
+	if _, err := NewLRSchedule(0, 0.1, 0, 10); err == nil {
+		t.Fatal("zero lr0 accepted")
+	}
+	if _, err := NewLRSchedule(0.1, -0.1, 0, 10); err == nil {
+		t.Fatal("negative lrT accepted")
+	}
+	if _, err := NewLRSchedule(0.1, 0.2, -1, 10); err == nil {
+		t.Fatal("negative t0 accepted")
+	}
+	if _, err := NewLRSchedule(0.1, 0.2, 0, -10); err == nil {
+		t.Fatal("negative ramp accepted")
+	}
+}
+
+func TestHybridMinimizesBatchChange(t *testing.T) {
+	// Property over all models: whatever transition, the returned TBS is
+	// the smallest power-of-two multiple of oldTBS within the resource
+	// ratio that satisfies N_opt >= newWorkers, or the ratio-scaled
+	// fallback. We verify the returned TBS never exceeds ratio*oldTBS.
+	h := mech(t)
+	for _, m := range models.Zoo() {
+		for _, c := range []struct{ oldW, oldTBS, newW int }{
+			{8, 256, 16}, {8, 256, 64}, {16, 512, 128}, {4, 128, 32},
+		} {
+			tbs, err := h.TotalBatchSize(m, c.oldW, c.oldTBS, c.newW)
+			if err != nil {
+				continue // some transitions are memory-infeasible; fine
+			}
+			ratio := c.newW / c.oldW
+			if tbs > c.oldTBS*ratio {
+				t.Errorf("%s %d->%d: TBS %d exceeds weak-scaling bound %d",
+					m.Name, c.oldW, c.newW, tbs, c.oldTBS*ratio)
+			}
+			if tbs < c.oldTBS {
+				t.Errorf("%s: TBS shrank %d -> %d", m.Name, c.oldTBS, tbs)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThroughputEstimator learns a job's throughput-vs-workers curve online
+// from observed (workers, samples/sec) measurements, the way Optimus (whose
+// marginal-gain rule the paper's allocation policy borrows) fits its
+// performance model: in a real deployment the scheduler cannot query an
+// oracle, it regresses one from what jobs report.
+//
+// The model is 1/throughput = a/N + b + c*N: an ideal-parallelism term, a
+// fixed serial term, and a communication term growing with the worker
+// count. Fit by least squares over the observations; Predict falls back to
+// the nearest observation when the fit is under-determined.
+type ThroughputEstimator struct {
+	obsN  []float64
+	obsTP []float64
+	a, b  float64
+	c     float64
+	ready bool
+}
+
+// NewThroughputEstimator returns an empty estimator.
+func NewThroughputEstimator() *ThroughputEstimator {
+	return &ThroughputEstimator{}
+}
+
+// Observe records a measurement of samples/sec at n workers.
+func (e *ThroughputEstimator) Observe(n int, throughput float64) error {
+	if n <= 0 || throughput <= 0 {
+		return fmt.Errorf("sched: invalid observation N=%d tp=%v", n, throughput)
+	}
+	e.obsN = append(e.obsN, float64(n))
+	e.obsTP = append(e.obsTP, throughput)
+	e.fit()
+	return nil
+}
+
+// NumObservations reports how many samples the estimator has.
+func (e *ThroughputEstimator) NumObservations() int { return len(e.obsN) }
+
+// fit solves the 3-parameter least squares when at least 3 distinct worker
+// counts were observed.
+func (e *ThroughputEstimator) fit() {
+	distinct := map[float64]bool{}
+	for _, n := range e.obsN {
+		distinct[n] = true
+	}
+	if len(distinct) < 3 {
+		e.ready = false
+		return
+	}
+	// Design matrix rows: [1/N, 1, N], target: 1/throughput.
+	// Solve the 3x3 normal equations.
+	var m [3][3]float64
+	var v [3]float64
+	for i := range e.obsN {
+		n := e.obsN[i]
+		y := 1 / e.obsTP[i]
+		row := [3]float64{1 / n, 1, n}
+		for r := 0; r < 3; r++ {
+			for cIdx := 0; cIdx < 3; cIdx++ {
+				m[r][cIdx] += row[r] * row[cIdx]
+			}
+			v[r] += row[r] * y
+		}
+	}
+	sol, ok := solve3(m, v)
+	if !ok {
+		e.ready = false
+		return
+	}
+	e.a, e.b, e.c = sol[0], sol[1], sol[2]
+	// Reject unphysical fits (negative parallel term) — keep collecting.
+	if e.a <= 0 {
+		e.ready = false
+		return
+	}
+	if e.c < 0 {
+		e.c = 0
+	}
+	e.ready = true
+}
+
+// solve3 solves m*x = v by Gaussian elimination with partial pivoting.
+func solve3(m [3][3]float64, v [3]float64) ([3]float64, bool) {
+	var x [3]float64
+	a := m
+	b := v
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return x, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c2 := col; c2 < 3; c2++ {
+				a[r][c2] -= f * a[col][c2]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := 2; r >= 0; r-- {
+		sum := b[r]
+		for c2 := r + 1; c2 < 3; c2++ {
+			sum -= a[r][c2] * x[c2]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, true
+}
+
+// Predict estimates throughput at n workers. With fewer than 3 distinct
+// observations it returns the observation at the nearest worker count
+// scaled linearly — a conservative fallback.
+func (e *ThroughputEstimator) Predict(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("sched: predict at N=%d", n)
+	}
+	if len(e.obsN) == 0 {
+		return 0, fmt.Errorf("sched: no observations")
+	}
+	if !e.ready {
+		// Nearest-observation linear extrapolation.
+		best := 0
+		for i := range e.obsN {
+			if math.Abs(e.obsN[i]-float64(n)) < math.Abs(e.obsN[best]-float64(n)) {
+				best = i
+			}
+		}
+		return e.obsTP[best] * float64(n) / e.obsN[best], nil
+	}
+	inv := e.a/float64(n) + e.b + e.c*float64(n)
+	if inv <= 0 {
+		return 0, fmt.Errorf("sched: fit predicts non-positive iteration time at N=%d", n)
+	}
+	return 1 / inv, nil
+}
+
+// MarginalGain estimates the throughput gained by the (n+1)-th worker.
+func (e *ThroughputEstimator) MarginalGain(n int) (float64, error) {
+	cur, err := e.Predict(n)
+	if err != nil {
+		return 0, err
+	}
+	next, err := e.Predict(n + 1)
+	if err != nil {
+		return 0, err
+	}
+	return next - cur, nil
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/perfmodel"
+)
+
+func TestEstimatorValidation(t *testing.T) {
+	e := NewThroughputEstimator()
+	if err := e.Observe(0, 100); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if err := e.Observe(4, 0); err == nil {
+		t.Fatal("zero throughput accepted")
+	}
+	if _, err := e.Predict(4); err == nil {
+		t.Fatal("prediction without observations accepted")
+	}
+	if err := e.Observe(4, 100); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if _, err := e.Predict(0); err == nil {
+		t.Fatal("predict at 0 accepted")
+	}
+}
+
+func TestEstimatorFallbackLinear(t *testing.T) {
+	e := NewThroughputEstimator()
+	if err := e.Observe(4, 400); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	// Single observation: linear extrapolation.
+	got, err := e.Predict(8)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if math.Abs(got-800) > 1e-9 {
+		t.Fatalf("Predict(8) = %v, want 800", got)
+	}
+}
+
+func TestEstimatorFitsPerfModel(t *testing.T) {
+	// Feed the estimator "measurements" from the analytic model and check
+	// interpolation accuracy at an unseen worker count.
+	p := perfmodel.Default()
+	m := models.ResNet50()
+	e := NewThroughputEstimator()
+	tbs := 512
+	for _, n := range []int{4, 8, 16, 64} {
+		tp, err := p.ThroughputTBS(m, n, tbs)
+		if err != nil {
+			t.Fatalf("ThroughputTBS: %v", err)
+		}
+		if err := e.Observe(n, tp); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if e.NumObservations() != 4 {
+		t.Fatalf("NumObservations = %d", e.NumObservations())
+	}
+	truth, err := p.ThroughputTBS(m, 32, tbs)
+	if err != nil {
+		t.Fatalf("ThroughputTBS: %v", err)
+	}
+	got, err := e.Predict(32)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	relErr := math.Abs(got-truth) / truth
+	if relErr > 0.25 {
+		t.Fatalf("Predict(32) = %v vs truth %v (%.0f%% error)", got, truth, 100*relErr)
+	}
+}
+
+func TestEstimatorMarginalGainDiminishes(t *testing.T) {
+	// On strong-scaling data the marginal gain must diminish for large N.
+	p := perfmodel.Default()
+	m := models.VGG19()
+	e := NewThroughputEstimator()
+	for _, n := range []int{16, 32, 64, 128} {
+		tp, err := p.ThroughputTBS(m, n, 2048)
+		if err != nil {
+			t.Fatalf("ThroughputTBS: %v", err)
+		}
+		if err := e.Observe(n, tp); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	gSmall, err := e.MarginalGain(16)
+	if err != nil {
+		t.Fatalf("MarginalGain: %v", err)
+	}
+	gLarge, err := e.MarginalGain(120)
+	if err != nil {
+		t.Fatalf("MarginalGain: %v", err)
+	}
+	if gLarge >= gSmall {
+		t.Fatalf("marginal gain not diminishing: g(16)=%v g(120)=%v", gSmall, gLarge)
+	}
+}
+
+func TestSolve3Known(t *testing.T) {
+	// x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 -> x=5, y=3, z=-2.
+	m := [3][3]float64{{1, 1, 1}, {0, 2, 5}, {2, 5, -1}}
+	v := [3]float64{6, -4, 27}
+	x, ok := solve3(m, v)
+	if !ok {
+		t.Fatal("solve3 failed")
+	}
+	want := [3]float64{5, 3, -2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	// Singular system.
+	if _, ok := solve3([3][3]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}, v); ok {
+		t.Fatal("singular system solved")
+	}
+}

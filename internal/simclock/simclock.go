@@ -1,0 +1,185 @@
+// Package simclock implements a deterministic discrete-event simulation
+// engine. All timing-sensitive experiments in this repository run against a
+// virtual clock instead of wall time so that results are reproducible and
+// laptop-scale: a "second" of cluster time costs nothing to simulate.
+//
+// The engine is a classic event-queue design: events carry a virtual
+// timestamp, the simulation repeatedly pops the earliest event and runs its
+// callback, and callbacks may schedule further events. Ties are broken by
+// insertion order, which makes runs fully deterministic for a fixed seed.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation is stopped explicitly
+// before the event queue drains.
+var ErrStopped = errors.New("simclock: simulation stopped")
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At time.Duration
+	// Name annotates the event for tracing and error messages.
+	Name string
+	// Fn is the callback to execute. It runs on the simulation goroutine.
+	Fn func()
+
+	seq   uint64
+	index int
+	dead  bool
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// construct one with New.
+type Clock struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+	// Trace, when non-nil, receives a line for every event executed.
+	Trace func(at time.Duration, name string)
+}
+
+// New returns a clock starting at virtual time zero with an empty queue.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in the
+// past is an error: the simulation cannot rewind.
+func (c *Clock) Schedule(at time.Duration, name string, fn func()) (*Event, error) {
+	if at < c.now {
+		return nil, fmt.Errorf("simclock: schedule %q at %v before now %v", name, at, c.now)
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: c.nextSeq}
+	c.nextSeq++
+	heap.Push(&c.queue, ev)
+	return ev, nil
+}
+
+// After enqueues fn to run after delay d from the current virtual time.
+// Negative delays are clamped to zero.
+func (c *Clock) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	// Scheduling at or after now can never fail.
+	ev, _ := c.Schedule(c.now+d, name, fn)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op and returns false.
+func (c *Clock) Cancel(ev *Event) bool {
+	if ev == nil || ev.dead || ev.index < 0 || ev.index >= len(c.queue) || c.queue[ev.index] != ev {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&c.queue, ev.index)
+	return true
+}
+
+// Stop aborts the run loop after the current event completes.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Pending reports the number of events waiting in the queue.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the virtual clock passes deadline (use RunAll for no deadline).
+// It returns ErrStopped when stopped explicitly.
+func (c *Clock) Run(deadline time.Duration) error {
+	c.stopped = false
+	for len(c.queue) > 0 {
+		if c.stopped {
+			return ErrStopped
+		}
+		next := c.queue[0]
+		if next.At > deadline {
+			// Leave future events queued; advance the clock to the deadline
+			// so that Now() reflects how far the simulation ran.
+			c.now = deadline
+			return nil
+		}
+		popped, ok := heap.Pop(&c.queue).(*Event)
+		if !ok {
+			return errors.New("simclock: corrupt event queue")
+		}
+		c.now = popped.At
+		if c.Trace != nil {
+			c.Trace(c.now, popped.Name)
+		}
+		popped.dead = true
+		popped.Fn()
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (c *Clock) RunAll() error {
+	return c.Run(time.Duration(math.MaxInt64))
+}
+
+// Advance moves virtual time forward by d without executing any events. It is
+// intended for driving the clock from an external discrete-time loop (the
+// scheduler simulator uses fixed ticks). Events scheduled inside the skipped
+// window fire in order before Advance returns.
+func (c *Clock) Advance(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("simclock: negative advance %v", d)
+	}
+	target := c.now + d
+	if err := c.Run(target); err != nil {
+		return err
+	}
+	if c.now < target {
+		c.now = target
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+// Package simrun executes elastic-training timelines on the discrete-event
+// simulation clock: training iterations, coordination rounds, worker
+// start/initialization and resource adjustments all become events in
+// virtual time. It is the event-driven counterpart of core.Job's closed-
+// form pause arithmetic — the two are cross-validated in the tests — and
+// it produces Figure 10/12-style timelines showing precisely which phases
+// sit on the training's critical path.
+package simrun
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/elan-sys/elan/internal/coord"
+	"github.com/elan-sys/elan/internal/core"
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/perfmodel"
+	"github.com/elan-sys/elan/internal/replication"
+	"github.com/elan-sys/elan/internal/simclock"
+	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+// EventKind classifies timeline entries.
+type EventKind string
+
+// Timeline event kinds.
+const (
+	EvIterDone       EventKind = "iteration"
+	EvRequest        EventKind = "adjust-request"
+	EvWorkerStarted  EventKind = "worker-started"
+	EvWorkerReported EventKind = "worker-reported"
+	EvAdjustBegin    EventKind = "adjust-begin"
+	EvAdjustEnd      EventKind = "adjust-end"
+)
+
+// TimelineEvent is one entry of the simulated run.
+type TimelineEvent struct {
+	At   time.Duration
+	Kind EventKind
+	Note string
+}
+
+// Config parametrizes a simulated elastic run.
+type Config struct {
+	Model   models.Model
+	Cluster *topology.Cluster
+	Perf    *perfmodel.Perf
+	Costs   core.SystemCosts
+	// Workers is the initial worker set.
+	Workers []topology.GPUID
+	// TotalBatch is the fixed total batch size (strong scaling).
+	TotalBatch int
+	// CoordInterval is iterations between coordinations.
+	CoordInterval int
+	// Seed drives the jittered cost samples.
+	Seed int64
+	// Synchronous, when true, disables the asynchronous coordination
+	// mechanism: training blocks from the request until the new workers
+	// have started and initialized (the ablation baseline).
+	Synchronous bool
+}
+
+// ScaleOutAt schedules a scale-out request at virtual time at.
+type ScaleOutAt struct {
+	At  time.Duration
+	Add []topology.GPUID
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Timeline holds all events in order.
+	Timeline []TimelineEvent
+	// Iterations completed within the horizon.
+	Iterations int
+	// TrainingPause is the total virtual time training stood still due to
+	// adjustments (excluding hidden start/init under async coordination).
+	TrainingPause time.Duration
+	// AdjustLatency is, per adjustment, the time from the request to the
+	// end of the adjustment (includes waiting for worker start/init).
+	AdjustLatency []time.Duration
+}
+
+// Run simulates training with the given scale-out schedule until horizon.
+// The returned result records the exact critical-path structure: under
+// asynchronous coordination, iterations continue while new workers start;
+// under synchronous coordination, the run blocks at the request.
+func Run(cfg Config, scaleOuts []ScaleOutAt, horizon time.Duration) (*Result, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("simrun: nil cluster")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("simrun: no workers")
+	}
+	if cfg.TotalBatch <= 0 || cfg.TotalBatch%len(cfg.Workers) != 0 {
+		return nil, fmt.Errorf("simrun: total batch %d not divisible by %d workers",
+			cfg.TotalBatch, len(cfg.Workers))
+	}
+	if cfg.Perf == nil {
+		cfg.Perf = perfmodel.Default()
+	}
+	if cfg.Costs == (core.SystemCosts{}) {
+		cfg.Costs = core.DefaultSystemCosts()
+	}
+	if cfg.CoordInterval <= 0 {
+		cfg.CoordInterval = 1
+	}
+	sort.Slice(scaleOuts, func(i, j int) bool { return scaleOuts[i].At < scaleOuts[j].At })
+
+	am, err := coord.NewAM("simrun", store.New())
+	if err != nil {
+		return nil, err
+	}
+	clk := simclock.New()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+	workers := append([]topology.GPUID(nil), cfg.Workers...)
+	// pendingAdds maps worker names (w<idx>) to their GPU IDs for the
+	// in-flight adjustment.
+	pendingAdds := make(map[string]topology.GPUID)
+	var requestAt time.Duration
+	nameOf := func(g topology.GPUID) string { return "w-" + g.String() }
+
+	record := func(kind EventKind, note string) {
+		res.Timeline = append(res.Timeline, TimelineEvent{At: clk.Now(), Kind: kind, Note: note})
+	}
+
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+		clk.Stop()
+	}
+
+	// scheduleScaleOut registers the request and the workers' async start.
+	scheduleScaleOut := func(so ScaleOutAt) {
+		names := make([]string, len(so.Add))
+		for i, g := range so.Add {
+			names[i] = nameOf(g)
+			pendingAdds[names[i]] = g
+		}
+		if err := am.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
+			fail(fmt.Errorf("simrun: request: %w", err))
+			return
+		}
+		requestAt = clk.Now()
+		record(EvRequest, fmt.Sprintf("add %d workers", len(so.Add)))
+		for _, name := range names {
+			name := name
+			startInit := cfg.Costs.StartInitTime(rng)
+			clk.After(startInit, "worker-ready "+name, func() {
+				record(EvWorkerReported, name)
+				if err := am.ReportReady(name); err != nil {
+					fail(fmt.Errorf("simrun: report %s: %w", name, err))
+				}
+			})
+		}
+	}
+
+	// The training loop: one event per iteration; at coordination
+	// boundaries the worker set may change.
+	iterTime := func() (time.Duration, error) {
+		return cfg.Perf.IterTime(cfg.Model, len(workers), cfg.TotalBatch/len(workers))
+	}
+	nextScaleOut := 0
+	inFlight := false
+
+	// applyAdjustment runs steps 4-5 for a delivered adjustment, then
+	// resumes via resume().
+	applyAdjustment := func(adj coord.Adjustment, coordCost time.Duration, resume func()) {
+		record(EvAdjustBegin, adj.Kind.String())
+		var add []topology.GPUID
+		for _, name := range adj.Add {
+			add = append(add, pendingAdds[name])
+			delete(pendingAdds, name)
+		}
+		plan, err := replication.NewPlan(workers, add,
+			cfg.Model.GPUStateBytes(), cfg.Model.CPUStateBytes)
+		if err != nil {
+			fail(err)
+			return
+		}
+		pause := coordCost +
+			plan.Duration(cfg.Cluster) +
+			cfg.Costs.Repartition +
+			cfg.Costs.GroupReconstructTime(rng, len(workers)+len(add))
+		res.TrainingPause += pause
+		reqAt := requestAt
+		clk.After(pause, "adjust-done", func() {
+			workers = append(workers, add...)
+			inFlight = false
+			record(EvAdjustEnd, fmt.Sprintf("N=%d", len(workers)))
+			res.AdjustLatency = append(res.AdjustLatency, clk.Now()-reqAt)
+			resume()
+		})
+	}
+
+	var iterate func()
+	// blockUntilReady is the synchronous baseline: training stands still,
+	// polling the AM until the adjustment fires; the whole wait is pause.
+	var blockUntilReady func()
+	blockUntilReady = func() {
+		if clk.Now() >= horizon {
+			return
+		}
+		const poll = 250 * time.Millisecond
+		adj, ok, err := am.Coordinate()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if ok {
+			applyAdjustment(adj, cfg.Costs.CoordTime(rng, len(workers)), iterate)
+			return
+		}
+		res.TrainingPause += poll
+		clk.After(poll, "sync-wait", blockUntilReady)
+	}
+
+	iterate = func() {
+		if clk.Now() >= horizon {
+			return
+		}
+		// Fire due requests.
+		for nextScaleOut < len(scaleOuts) && scaleOuts[nextScaleOut].At <= clk.Now() {
+			so := scaleOuts[nextScaleOut]
+			nextScaleOut++
+			scheduleScaleOut(so)
+			inFlight = true
+		}
+		if cfg.Synchronous && inFlight {
+			blockUntilReady()
+			return
+		}
+		it, err := iterTime()
+		if err != nil {
+			fail(err)
+			return
+		}
+		clk.After(it, "iteration", func() {
+			res.Iterations++
+			record(EvIterDone, fmt.Sprintf("N=%d", len(workers)))
+			// Coordination at the boundary.
+			if res.Iterations%cfg.CoordInterval == 0 {
+				coordCost := cfg.Costs.CoordTime(rng, len(workers))
+				adj, ok, err := am.Coordinate()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if ok {
+					applyAdjustment(adj, coordCost, iterate)
+					return
+				}
+				res.TrainingPause += coordCost
+				clk.After(coordCost, "coordination", iterate)
+				return
+			}
+			iterate()
+		})
+	}
+	iterate()
+	if err := clk.Run(horizon); err != nil && err != simclock.ErrStopped {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// Render prints the timeline in a human-readable form.
+func (r *Result) Render() string {
+	out := ""
+	for _, ev := range r.Timeline {
+		if ev.Kind == EvIterDone {
+			continue // too noisy; iterations are summarized
+		}
+		out += fmt.Sprintf("%12v  %-16s %s\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Note)
+	}
+	out += fmt.Sprintf("iterations=%d pause=%v\n", r.Iterations, r.TrainingPause.Round(time.Millisecond))
+	return out
+}

@@ -1,0 +1,230 @@
+package simrun
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/core"
+	"github.com/elan-sys/elan/internal/models"
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+func cluster(t *testing.T) *topology.Cluster {
+	t.Helper()
+	c, err := topology.NewCluster(topology.DefaultGeometry())
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func baseConfig(t *testing.T, c *topology.Cluster, n int) Config {
+	t.Helper()
+	gpus, err := c.Reserve(n)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	return Config{
+		Model:         models.ResNet50(),
+		Cluster:       c,
+		Workers:       topology.IDsOf(gpus),
+		TotalBatch:    n * 32,
+		CoordInterval: 1,
+		Seed:          1,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := cluster(t)
+	bad := baseConfig(t, c, 4)
+	bad.Cluster = nil
+	if _, err := Run(bad, nil, time.Minute); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+	bad = baseConfig(t, c, 4)
+	bad.Workers = nil
+	if _, err := Run(bad, nil, time.Minute); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	bad = baseConfig(t, c, 4)
+	bad.TotalBatch = 7
+	if _, err := Run(bad, nil, time.Minute); err == nil {
+		t.Fatal("indivisible batch accepted")
+	}
+}
+
+func TestSteadyStateTraining(t *testing.T) {
+	c := cluster(t)
+	cfg := baseConfig(t, c, 8)
+	res, err := Run(cfg, nil, 30*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations in 30 virtual seconds")
+	}
+	// Pause without adjustments is just coordination: tiny.
+	if res.TrainingPause > 100*time.Millisecond {
+		t.Fatalf("steady-state pause %v too large", res.TrainingPause)
+	}
+}
+
+func TestAsyncScaleOutTimeline(t *testing.T) {
+	c := cluster(t)
+	cfg := baseConfig(t, c, 8)
+	add, err := c.Reserve(8)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	res, err := Run(cfg, []ScaleOutAt{{At: 5 * time.Second, Add: topology.IDsOf(add)}}, 3*time.Minute)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The adjustment happened.
+	var sawRequest, sawAdjust bool
+	var requestAt, adjustEndAt time.Duration
+	itersDuringStart := 0
+	for _, ev := range res.Timeline {
+		switch ev.Kind {
+		case EvRequest:
+			sawRequest = true
+			requestAt = ev.At
+		case EvAdjustEnd:
+			sawAdjust = true
+			adjustEndAt = ev.At
+		case EvIterDone:
+			if sawRequest && !sawAdjust {
+				itersDuringStart++
+			}
+		}
+	}
+	if !sawRequest || !sawAdjust {
+		t.Fatalf("timeline incomplete: request=%v adjust=%v", sawRequest, sawAdjust)
+	}
+	// The asynchronous property: training iterations continued while the
+	// new workers were starting (start+init is ~30 virtual seconds; at
+	// ~200ms/iter that is dozens of iterations).
+	if itersDuringStart < 10 {
+		t.Fatalf("only %d iterations during worker start: async coordination not effective",
+			itersDuringStart)
+	}
+	// The request-to-done latency is dominated by start/init (tens of
+	// seconds), but the training pause is ~1s: the hidden-cost property.
+	latency := adjustEndAt - requestAt
+	if latency < 20*time.Second {
+		t.Fatalf("adjustment latency %v suspiciously small", latency)
+	}
+	if res.TrainingPause > 3*time.Second {
+		t.Fatalf("training pause %v not hidden", res.TrainingPause)
+	}
+	if len(res.AdjustLatency) != 1 || res.AdjustLatency[0] != latency {
+		t.Fatalf("AdjustLatency = %v, want [%v]", res.AdjustLatency, latency)
+	}
+}
+
+func TestSynchronousBaselinePausesLonger(t *testing.T) {
+	c1 := cluster(t)
+	async := baseConfig(t, c1, 8)
+	add1, err := c1.Reserve(8)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	asyncRes, err := Run(async, []ScaleOutAt{{At: 5 * time.Second, Add: topology.IDsOf(add1)}}, 3*time.Minute)
+	if err != nil {
+		t.Fatalf("Run async: %v", err)
+	}
+	c2 := cluster(t)
+	sync := baseConfig(t, c2, 8)
+	sync.Synchronous = true
+	add2, err := c2.Reserve(8)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	syncRes, err := Run(sync, []ScaleOutAt{{At: 5 * time.Second, Add: topology.IDsOf(add2)}}, 3*time.Minute)
+	if err != nil {
+		t.Fatalf("Run sync: %v", err)
+	}
+	// The synchronous system charges the whole start/init to the pause.
+	if syncRes.TrainingPause < 10*asyncRes.TrainingPause {
+		t.Fatalf("sync pause %v not much larger than async %v",
+			syncRes.TrainingPause, asyncRes.TrainingPause)
+	}
+}
+
+func TestEventDrivenMatchesClosedForm(t *testing.T) {
+	// Cross-validation: the event-driven pause for one scale-out should be
+	// within a factor ~2 of core.Job's closed-form pause for the same
+	// configuration (they sample jitter independently).
+	c := cluster(t)
+	cfg := baseConfig(t, c, 8)
+	add, err := c.Reserve(8)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	addIDs := topology.IDsOf(add)
+	res, err := Run(cfg, []ScaleOutAt{{At: 2 * time.Second, Add: addIDs}}, 3*time.Minute)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Closed form.
+	c2 := cluster(t)
+	gpus, err := c2.Reserve(8)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	job, err := core.NewJob(core.JobConfig{
+		Model:   models.ResNet50(),
+		Cluster: c2,
+		Workers: topology.IDsOf(gpus), TotalBatch: 256, LR: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	add2, err := c2.Reserve(8)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	rep, err := job.ScaleOut(topology.IDsOf(add2))
+	if err != nil {
+		t.Fatalf("ScaleOut: %v", err)
+	}
+	// The event-driven pause includes per-iteration coordination; subtract
+	// nothing and compare loosely.
+	ratio := float64(res.TrainingPause) / float64(rep.Pause)
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Fatalf("event-driven pause %v vs closed-form %v (ratio %.2f)",
+			res.TrainingPause, rep.Pause, ratio)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	c := cluster(t)
+	cfg := baseConfig(t, c, 4)
+	add, err := c.Reserve(4)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	res, err := Run(cfg, []ScaleOutAt{{At: time.Second, Add: topology.IDsOf(add)}}, 2*time.Minute)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Render()
+	for _, want := range []string{"adjust-request", "worker-reported", "adjust-begin", "adjust-end", "iterations="} {
+		if !contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

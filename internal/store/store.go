@@ -1,0 +1,161 @@
+// Package store implements a versioned key-value store with watches and
+// compare-and-swap — the etcd substitute the application master persists its
+// state machine to (Section V-D). Versions increase monotonically per key;
+// CAS enables the leader-recovery pattern (only the AM incarnation holding
+// the latest version may advance the state machine).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound   = errors.New("store: key not found")
+	ErrCASFailure = errors.New("store: compare-and-swap version mismatch")
+)
+
+// Entry is a value with its version.
+type Entry struct {
+	Value   []byte
+	Version int64
+}
+
+// Event describes a change delivered to watchers.
+type Event struct {
+	Key     string
+	Value   []byte
+	Version int64
+	Deleted bool
+}
+
+// Store is an in-memory versioned KV store, safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	data     map[string]Entry
+	watchers map[string][]chan Event
+	nextRev  int64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		data:     make(map[string]Entry),
+		watchers: make(map[string][]chan Event),
+	}
+}
+
+// Get returns the entry for key.
+func (s *Store) Get(key string) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	out := Entry{Value: make([]byte, len(e.Value)), Version: e.Version}
+	copy(out.Value, e.Value)
+	return out, nil
+}
+
+// Put stores value under key unconditionally and returns the new version.
+func (s *Store) Put(key string, value []byte) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, value)
+}
+
+func (s *Store) putLocked(key string, value []byte) int64 {
+	s.nextRev++
+	v := make([]byte, len(value))
+	copy(v, value)
+	e := Entry{Value: v, Version: s.nextRev}
+	s.data[key] = e
+	s.notifyLocked(Event{Key: key, Value: v, Version: e.Version})
+	return e.Version
+}
+
+// CAS stores value under key only if the current version equals expected
+// (use 0 for "key must not exist"). It returns the new version.
+func (s *Store) CAS(key string, expected int64, value []byte) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[key]
+	curVersion := int64(0)
+	if ok {
+		curVersion = cur.Version
+	}
+	if curVersion != expected {
+		return 0, fmt.Errorf("%w: key %q at version %d, expected %d",
+			ErrCASFailure, key, curVersion, expected)
+	}
+	return s.putLocked(key, value), nil
+}
+
+// Delete removes key; deleting a missing key is an error.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	delete(s.data, key)
+	s.nextRev++
+	s.notifyLocked(Event{Key: key, Version: s.nextRev, Deleted: true})
+	return nil
+}
+
+// Watch subscribes to changes of key. The returned cancel function must be
+// called to release the watcher. Events are delivered asynchronously on a
+// buffered channel; a slow consumer loses the oldest events (the channel is
+// a conflating buffer of size 16), which is acceptable because consumers
+// re-read the current state with Get after waking.
+func (s *Store) Watch(key string) (<-chan Event, func()) {
+	ch := make(chan Event, 16)
+	s.mu.Lock()
+	s.watchers[key] = append(s.watchers[key], ch)
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ws := s.watchers[key]
+		for i, w := range ws {
+			if w == ch {
+				s.watchers[key] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, cancel
+}
+
+func (s *Store) notifyLocked(ev Event) {
+	for _, ch := range s.watchers[ev.Key] {
+		select {
+		case ch <- ev:
+		default:
+			// Drop oldest, then insert: keeps the newest event visible.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// Keys returns all keys currently present (for inspection and tests).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package tensor implements the minimal dense linear algebra needed by the
+// pure-Go neural-network substrate: row-major float64 matrices with the
+// operations required for MLP forward/backward passes (matmul with optional
+// transposition, elementwise maps, axpy) and flattening helpers used by the
+// gradient allreduce and by training-state replication.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix. Data has length Rows*Cols.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zero matrix of the given shape.
+func New(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("tensor: invalid shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// MustNew is New for statically correct shapes; it panics on invalid shape
+// and is intended for package-internal construction only.
+func MustNew(rows, cols int) *Matrix {
+	m, err := New(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if rows*cols != len(data) {
+		return nil, fmt.Errorf("tensor: %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data))
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("tensor: invalid shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// Randn fills m with N(0, stddev^2) samples from rng.
+func (m *Matrix) Randn(rng *rand.Rand, stddev float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * stddev
+	}
+}
+
+// At returns the element at (r, c). Bounds are the caller's responsibility;
+// this accessor is for tests and small code paths, hot loops index Data.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies all elements by a.
+func (m *Matrix) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Axpy computes m += a*x elementwise. Shapes must match.
+func (m *Matrix) Axpy(a float64, x *Matrix) error {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		return fmt.Errorf("tensor: axpy shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, x.Rows, x.Cols)
+	}
+	for i := range m.Data {
+		m.Data[i] += a * x.Data[i]
+	}
+	return nil
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := MustNew(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulAT returns aᵀ*b (a is used transposed).
+func MatMulAT(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("tensor: matmulAT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := MustNew(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulBT returns a*bᵀ (b is used transposed).
+func MatMulBT(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("tensor: matmulBT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := MustNew(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+	return out, nil
+}
+
+// AddRowVector adds vector v (1 x Cols) to every row of m, in place.
+func (m *Matrix) AddRowVector(v *Matrix) error {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		return fmt.Errorf("tensor: add row vector %dx%d to %dx%d", v.Rows, v.Cols, m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+	return nil
+}
+
+// SumRows returns the 1 x Cols column sums of m.
+func (m *Matrix) SumRows() *Matrix {
+	out := MustNew(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			out.Data[j] += row[j]
+		}
+	}
+	return out
+}
+
+// Apply maps f over all elements in place.
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i := range m.Data {
+		m.Data[i] = f(m.Data[i])
+	}
+}
+
+// ReLU applies max(0, x) in place and returns a mask matrix with 1 where the
+// input was positive, used by the backward pass.
+func (m *Matrix) ReLU() *Matrix {
+	mask := MustNew(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+// Hadamard computes m *= x elementwise.
+func (m *Matrix) Hadamard(x *Matrix) error {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		return fmt.Errorf("tensor: hadamard shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] *= x.Data[i]
+	}
+	return nil
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}
+
+// Norm returns the Frobenius norm.
+func (m *Matrix) Norm() float64 {
+	var ss float64
+	for _, v := range m.Data {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// HasNaN reports whether any element is NaN or infinite.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlattenTo appends all elements of the matrices to dst in order and returns
+// the extended slice; the inverse is UnflattenFrom.
+func FlattenTo(dst []float64, ms ...*Matrix) []float64 {
+	for _, m := range ms {
+		dst = append(dst, m.Data...)
+	}
+	return dst
+}
+
+// UnflattenFrom copies values from src back into the matrices in order and
+// returns the number of values consumed.
+func UnflattenFrom(src []float64, ms ...*Matrix) (int, error) {
+	off := 0
+	for _, m := range ms {
+		n := len(m.Data)
+		if off+n > len(src) {
+			return off, fmt.Errorf("tensor: unflatten needs %d values, have %d", off+n, len(src))
+		}
+		copy(m.Data, src[off:off+n])
+		off += n
+	}
+	return off, nil
+}
+
+// NumElements returns the total element count of the matrices.
+func NumElements(ms ...*Matrix) int {
+	n := 0
+	for _, m := range ms {
+		n += len(m.Data)
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Submit != b[i].Submit || a[i].ReqWorkers != b[i].ReqWorkers ||
+			a[i].Model.Name != b[i].Model.Name {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].Submit != c[i].Submit {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical traces")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Span = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	bad = DefaultConfig()
+	bad.JobsPerDay = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero jobs/day accepted")
+	}
+	bad = DefaultConfig()
+	bad.ClusterGPUs = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero GPUs accepted")
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(jobs) < 100 {
+		t.Fatalf("two-day trace has only %d jobs", len(jobs))
+	}
+	var prev time.Duration
+	for _, j := range jobs {
+		if j.Submit < prev {
+			t.Fatal("jobs not sorted by submit time")
+		}
+		prev = j.Submit
+		if j.Submit >= cfg.Span {
+			t.Fatalf("job %d submitted after span", j.ID)
+		}
+		if j.MinWorkers < 1 || j.MinWorkers > j.ReqWorkers {
+			t.Fatalf("job %d: min %d req %d", j.ID, j.MinWorkers, j.ReqWorkers)
+		}
+		if j.MaxWorkers < j.ReqWorkers || j.MaxWorkers > cfg.ClusterGPUs/2 {
+			t.Fatalf("job %d: max %d req %d", j.ID, j.MaxWorkers, j.ReqWorkers)
+		}
+		if j.ReqWorkers > cfg.ClusterGPUs/4 {
+			t.Fatalf("job %d: req %d exceeds cluster/4", j.ID, j.ReqWorkers)
+		}
+		if j.PerWorkerBatch < 1 || j.PerWorkerBatch > j.Model.MaxPerWorkerBatch {
+			t.Fatalf("job %d: per-worker batch %d", j.ID, j.PerWorkerBatch)
+		}
+		if j.TotalSamples <= 0 {
+			t.Fatalf("job %d: no work", j.ID)
+		}
+	}
+}
+
+func TestGenerateDiurnalPattern(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Span = 7 * 24 * time.Hour
+	cfg.JobsPerDay = 200
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Arrivals during the daytime window (8:00-20:00) should outnumber the
+	// nighttime window clearly.
+	day, night := 0, 0
+	for _, j := range jobs {
+		h := int(j.Submit.Hours()) % 24
+		if h >= 8 && h < 20 {
+			day++
+		} else {
+			night++
+		}
+	}
+	if float64(day) < 1.2*float64(night) {
+		t.Fatalf("no diurnal pattern: day=%d night=%d", day, night)
+	}
+}
+
+func TestGenerateJobSizeDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Span = 14 * 24 * time.Hour
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	small, large := 0, 0
+	for _, j := range jobs {
+		if j.ReqWorkers <= 8 {
+			small++
+		} else {
+			large++
+		}
+	}
+	// Heavy-tailed: small jobs dominate but large ones exist.
+	if small <= 4*large {
+		t.Fatalf("size distribution off: small=%d large=%d", small, large)
+	}
+	if large == 0 {
+		t.Fatal("no large jobs in two weeks")
+	}
+}
+
+func TestUtilizationSeries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Span = 7 * 24 * time.Hour
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	hours, utils, err := UtilizationSeries(jobs, cfg.ClusterGPUs, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("UtilizationSeries: %v", err)
+	}
+	if len(hours) != len(utils) || len(hours) < 100 {
+		t.Fatalf("series lengths %d/%d", len(hours), len(utils))
+	}
+	var minU, maxU = 2.0, -1.0
+	for _, u := range utils {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %v out of [0,1]", u)
+		}
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	// Figure 1's point: dramatic fluctuation.
+	if maxU-minU < 0.3 {
+		t.Fatalf("utilization fluctuation too small: [%v, %v]", minU, maxU)
+	}
+	if _, _, err := UtilizationSeries(jobs, 0, time.Minute); err == nil {
+		t.Fatal("zero GPUs accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file implements the same request/reply protocol over real TCP using
+// encoding/gob, demonstrating that the coordination protocol is not tied to
+// the in-process bus. The scheduler's resource-adjustment service
+// (Section V-A, "Service API") is exposed this way in the integration tests
+// and examples. Clients dial per call, which makes reconnection after a
+// server restart automatic — the property the paper gets from ZeroMQ.
+
+type rpcRequest struct {
+	ID      uint64
+	Kind    string
+	Payload []byte
+}
+
+type rpcResponse struct {
+	ID      uint64
+	Payload []byte
+	Err     string
+}
+
+// Server serves the request/reply protocol on a TCP listener.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server dispatching to h.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds to addr ("127.0.0.1:0" for an ephemeral port) and starts
+// accepting connections. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := rpcResponse{ID: req.ID}
+		payload, err := s.handler(Message{ID: req.ID, Kind: req.Kind, Payload: req.Payload})
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Payload = payload
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and tears down open connections, waiting for the
+// serving goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Call performs one request/reply round trip to a Server at addr, dialing a
+// fresh connection (and therefore transparently surviving server restarts
+// between calls). The timeout covers dial, write and read.
+func Call(addr, kind string, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("transport: set deadline: %w", err)
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	req := rpcRequest{ID: 1, Kind: kind, Payload: payload}
+	if err := enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("transport: encode request: %w", err)
+	}
+	var resp rpcResponse
+	if err := dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: decode response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Payload, nil
+}
+
+// CallRetry is Call with resend-on-timeout semantics: it retries up to
+// attempts times, which rides out a server restart in progress.
+func CallRetry(addr, kind string, payload []byte, timeout time.Duration, attempts int) ([]byte, error) {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		out, err := Call(addr, kind, payload, timeout)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: %d attempts failed: %w", attempts, lastErr)
+}

@@ -1,0 +1,307 @@
+// Package transport provides the reliable messaging layer between the
+// application master and workers — the stand-in for the paper's ZeroMQ
+// sockets (Section V-D). Every message carries a unique ID; senders resend
+// on ack timeout and receivers deduplicate by ID, so delivery is
+// exactly-once at the handler as long as the peer eventually responds. An
+// in-process Bus with configurable drop rate and latency lets tests inject
+// message loss; a separate TCP server/client pair (rpc.go) demonstrates the
+// same protocol over a real network connection.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors returned by the transport layer.
+var (
+	ErrNoEndpoint = errors.New("transport: no such endpoint")
+	ErrTimeout    = errors.New("transport: send timed out after all retries")
+	ErrClosed     = errors.New("transport: endpoint closed")
+)
+
+// Message is the unit of communication. Payloads are opaque bytes; Kind
+// routes them at the receiver.
+type Message struct {
+	ID      uint64 `json:"id"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Kind    string `json:"kind"`
+	Payload []byte `json:"payload"`
+}
+
+// Handler processes an inbound message and optionally returns a reply
+// payload (delivered to the sender's Call, if any).
+type Handler func(Message) ([]byte, error)
+
+// BusConfig controls the simulated fault characteristics of the bus.
+type BusConfig struct {
+	// DropRate is the probability a given delivery attempt is lost.
+	DropRate float64
+	// Latency delays every delivery.
+	Latency time.Duration
+	// AckTimeout is how long a sender waits for an ack before resending.
+	AckTimeout time.Duration
+	// MaxRetries bounds resends before Send fails with ErrTimeout.
+	MaxRetries int
+	// Seed makes drop decisions deterministic.
+	Seed int64
+}
+
+// DefaultBusConfig returns a lossless, low-latency configuration.
+func DefaultBusConfig() BusConfig {
+	return BusConfig{
+		AckTimeout: 20 * time.Millisecond,
+		MaxRetries: 10,
+	}
+}
+
+// Bus is an in-process message fabric connecting named endpoints.
+type Bus struct {
+	cfg BusConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[string]*Endpoint
+}
+
+// NewBus constructs a bus. Invalid config values are normalized.
+func NewBus(cfg BusConfig) *Bus {
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 20 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 10
+	}
+	if cfg.DropRate < 0 {
+		cfg.DropRate = 0
+	}
+	if cfg.DropRate > 0.95 {
+		cfg.DropRate = 0.95
+	}
+	return &Bus{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		endpoints: make(map[string]*Endpoint),
+	}
+}
+
+// Endpoint creates (or returns) the endpoint with the given name and sets
+// its handler. The handler runs on the delivery goroutine.
+func (b *Bus) Endpoint(name string, h Handler) (*Endpoint, error) {
+	if name == "" {
+		return nil, errors.New("transport: empty endpoint name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ep, ok := b.endpoints[name]; ok {
+		ep.mu.Lock()
+		ep.handler = h
+		ep.mu.Unlock()
+		return ep, nil
+	}
+	ep := &Endpoint{
+		name:      name,
+		bus:       b,
+		handler:   h,
+		seen:      make(map[string]uint64),
+		lastReply: make(map[string]reply),
+		replies:   make(map[uint64]chan reply),
+		closed:    make(chan struct{}),
+	}
+	b.endpoints[name] = ep
+	return ep, nil
+}
+
+// Remove deletes an endpoint from the bus (worker shutdown / migration).
+func (b *Bus) Remove(name string) {
+	b.mu.Lock()
+	ep, ok := b.endpoints[name]
+	if ok {
+		delete(b.endpoints, name)
+	}
+	b.mu.Unlock()
+	if ok {
+		ep.close()
+	}
+}
+
+// shouldDrop decides message loss under the bus lock.
+func (b *Bus) shouldDrop() bool {
+	if b.cfg.DropRate == 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rng.Float64() < b.cfg.DropRate
+}
+
+func (b *Bus) lookup(name string) (*Endpoint, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.endpoints[name]
+	return ep, ok
+}
+
+type reply struct {
+	payload []byte
+	err     error
+}
+
+// Endpoint is a named participant on a bus.
+type Endpoint struct {
+	name string
+	bus  *Bus
+
+	mu      sync.Mutex
+	handler Handler
+	nextID  uint64
+	// seen[from] is the highest processed message ID from that sender used
+	// for dedup; senders allocate IDs monotonically.
+	seen map[string]uint64
+	// lastReply[from] caches the reply to the highest processed message so
+	// that a resend (after a dropped reply) still returns the real result.
+	lastReply map[string]reply
+	replies   map[uint64]chan reply
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Name returns the endpoint's bus name.
+func (e *Endpoint) Name() string { return e.name }
+
+func (e *Endpoint) close() {
+	e.closeOnce.Do(func() { close(e.closed) })
+}
+
+// allocID returns the next message ID for this sender.
+func (e *Endpoint) allocID() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	return e.nextID
+}
+
+// Call sends a message and waits for the receiver's reply, resending on
+// timeout and deduplicating at the receiver. It is the reliable RPC used for
+// AM<->worker coordination.
+func (e *Endpoint) Call(to, kind string, payload []byte) ([]byte, error) {
+	select {
+	case <-e.closed:
+		return nil, ErrClosed
+	default:
+	}
+	msg := Message{
+		ID:      e.allocID(),
+		From:    e.name,
+		To:      to,
+		Kind:    kind,
+		Payload: payload,
+	}
+	ch := make(chan reply, 1)
+	e.mu.Lock()
+	e.replies[msg.ID] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.replies, msg.ID)
+		e.mu.Unlock()
+	}()
+
+	for attempt := 0; attempt < e.bus.cfg.MaxRetries; attempt++ {
+		e.deliver(msg)
+		select {
+		case r := <-ch:
+			return r.payload, r.err
+		case <-time.After(e.bus.cfg.AckTimeout):
+			// resend (timeout: either the message or its reply was dropped)
+		case <-e.closed:
+			return nil, ErrClosed
+		}
+	}
+	return nil, fmt.Errorf("%w (to=%s kind=%s id=%d)", ErrTimeout, to, kind, msg.ID)
+}
+
+// deliver attempts one delivery of msg (possibly dropped). The receiver's
+// handler runs on a fresh goroutine; its reply is routed back to the pending
+// Call, also subject to drops.
+func (e *Endpoint) deliver(msg Message) {
+	if e.bus.shouldDrop() {
+		return
+	}
+	dst, ok := e.bus.lookup(msg.To)
+	if !ok {
+		// Unknown destination: reply with an error so Call fails fast
+		// instead of burning retries.
+		e.routeReply(msg.ID, reply{err: fmt.Errorf("%w: %s", ErrNoEndpoint, msg.To)})
+		return
+	}
+	go func() {
+		if e.bus.cfg.Latency > 0 {
+			time.Sleep(e.bus.cfg.Latency)
+		}
+		payload, err := dst.handle(msg)
+		if e.bus.shouldDrop() {
+			return // the reply got lost; sender will resend
+		}
+		if e.bus.cfg.Latency > 0 {
+			time.Sleep(e.bus.cfg.Latency)
+		}
+		e.routeReply(msg.ID, reply{payload: payload, err: err})
+	}()
+}
+
+func (e *Endpoint) routeReply(id uint64, r reply) {
+	e.mu.Lock()
+	ch, ok := e.replies[id]
+	e.mu.Unlock()
+	if ok {
+		select {
+		case ch <- r:
+		default: // a retry already delivered a reply
+		}
+	}
+}
+
+// handle runs the endpoint handler exactly once per message ID: duplicate
+// deliveries of the most recent message (resends after a dropped reply)
+// return the cached reply; older duplicates are acknowledged with an empty
+// payload. Handlers therefore see each logical message once.
+func (e *Endpoint) handle(msg Message) ([]byte, error) {
+	e.mu.Lock()
+	select {
+	case <-e.closed:
+		e.mu.Unlock()
+		return nil, ErrClosed
+	default:
+	}
+	last := e.seen[msg.From]
+	if msg.ID <= last {
+		var cached reply
+		if msg.ID == last {
+			cached = e.lastReply[msg.From]
+		}
+		e.mu.Unlock()
+		return cached.payload, cached.err
+	}
+	e.seen[msg.From] = msg.ID
+	h := e.handler
+	e.mu.Unlock()
+	if h == nil {
+		e.mu.Lock()
+		e.lastReply[msg.From] = reply{}
+		e.mu.Unlock()
+		return nil, nil
+	}
+	payload, err := h(msg)
+	e.mu.Lock()
+	if e.seen[msg.From] == msg.ID {
+		e.lastReply[msg.From] = reply{payload: payload, err: err}
+	}
+	e.mu.Unlock()
+	return payload, err
+}

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCallBasic(t *testing.T) {
+	bus := NewBus(DefaultBusConfig())
+	_, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		return []byte("pong:" + string(m.Payload)), nil
+	})
+	if err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, err := bus.Endpoint("client", nil)
+	if err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	out, err := client.Call("server", "ping", []byte("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(out) != "pong:hi" {
+		t.Fatalf("reply = %q", out)
+	}
+}
+
+func TestCallUnknownEndpoint(t *testing.T) {
+	bus := NewBus(DefaultBusConfig())
+	client, err := bus.Endpoint("client", nil)
+	if err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	_, err = client.Call("ghost", "ping", nil)
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v, want ErrNoEndpoint", err)
+	}
+}
+
+func TestEmptyEndpointName(t *testing.T) {
+	bus := NewBus(DefaultBusConfig())
+	if _, err := bus.Endpoint("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	bus := NewBus(DefaultBusConfig())
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		return nil, errors.New("boom")
+	}); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	_, err := client.Call("server", "x", nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestResendSurvivesDrops(t *testing.T) {
+	cfg := DefaultBusConfig()
+	cfg.DropRate = 0.4
+	cfg.Seed = 42
+	cfg.AckTimeout = 5 * time.Millisecond
+	cfg.MaxRetries = 50
+	bus := NewBus(cfg)
+	var handled atomic.Int64
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		handled.Add(1)
+		return m.Payload, nil
+	}); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	for i := 0; i < 20; i++ {
+		out, err := client.Call("server", "echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+		if len(out) != 1 || out[0] != byte(i) {
+			t.Fatalf("Call %d: reply %v", i, out)
+		}
+	}
+	// Exactly-once processing despite resends.
+	if got := handled.Load(); got != 20 {
+		t.Fatalf("handler ran %d times, want 20", got)
+	}
+}
+
+func TestDedupReturnsCachedReply(t *testing.T) {
+	// Force the first reply to be dropped and verify the resent request
+	// gets the original handler result, not an empty ack.
+	cfg := DefaultBusConfig()
+	cfg.AckTimeout = 5 * time.Millisecond
+	cfg.MaxRetries = 20
+	bus := NewBus(cfg)
+	var calls atomic.Int64
+	srv, err := bus.Endpoint("server", nil)
+	if err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	_ = srv
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		calls.Add(1)
+		return []byte("result"), nil
+	}); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	// Simulate a dropped reply by calling handle directly twice with the
+	// same message, as a resend would.
+	msg := Message{ID: client.allocID(), From: "client", To: "server", Kind: "x"}
+	dst, _ := bus.lookup("server")
+	first, err := dst.handle(msg)
+	if err != nil || string(first) != "result" {
+		t.Fatalf("first handle = %q, %v", first, err)
+	}
+	second, err := dst.handle(msg)
+	if err != nil || string(second) != "result" {
+		t.Fatalf("duplicate handle = %q, %v; want cached result", second, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestTimeoutAfterRetries(t *testing.T) {
+	cfg := DefaultBusConfig()
+	cfg.DropRate = 0.95 // nearly everything lost
+	cfg.Seed = 7
+	cfg.AckTimeout = time.Millisecond
+	cfg.MaxRetries = 3
+	bus := NewBus(cfg)
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	var sawTimeout bool
+	for i := 0; i < 10; i++ {
+		if _, err := client.Call("server", "x", nil); errors.Is(err, ErrTimeout) {
+			sawTimeout = true
+			break
+		}
+	}
+	if !sawTimeout {
+		t.Fatal("no timeout observed at 95% drop rate with 3 retries")
+	}
+}
+
+func TestRemoveClosesEndpoint(t *testing.T) {
+	bus := NewBus(DefaultBusConfig())
+	ep, err := bus.Endpoint("worker", func(m Message) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	bus.Remove("worker")
+	if _, err := ep.Call("anything", "x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call on removed endpoint = %v, want ErrClosed", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	if _, err := client.Call("worker", "x", nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("Call to removed endpoint = %v, want ErrNoEndpoint", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	bus := NewBus(DefaultBusConfig())
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		return m.Payload, nil
+	}); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := "client" + string(rune('0'+c))
+			ep, err := bus.Endpoint(name, nil)
+			if err != nil {
+				t.Errorf("Endpoint: %v", err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				out, err := ep.Call("server", "echo", []byte{byte(c), byte(i)})
+				if err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+				if len(out) != 2 || out[0] != byte(c) || out[1] != byte(i) {
+					t.Errorf("wrong reply %v", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPServerRoundTrip(t *testing.T) {
+	srv := NewServer(func(m Message) ([]byte, error) {
+		if m.Kind == "fail" {
+			return nil, errors.New("requested failure")
+		}
+		return append([]byte("ok:"), m.Payload...), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	out, err := Call(addr, "test", []byte("payload"), time.Second)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(out) != "ok:payload" {
+		t.Fatalf("reply = %q", out)
+	}
+	if _, err := Call(addr, "fail", nil, time.Second); err == nil || !strings.Contains(err.Error(), "requested failure") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestTCPReconnectAfterRestart(t *testing.T) {
+	// The paper's ZeroMQ reconnect property: a client retries through a
+	// server restart.
+	handler := func(m Message) ([]byte, error) { return []byte("alive"), nil }
+	srv1 := NewServer(handler)
+	addr, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := Call(addr, "ping", nil, time.Second); err != nil {
+		t.Fatalf("first Call: %v", err)
+	}
+	srv1.Close()
+	// Server gone: plain Call fails.
+	if _, err := Call(addr, "ping", nil, 100*time.Millisecond); err == nil {
+		t.Fatal("Call succeeded against closed server")
+	}
+	// Restart on the same port.
+	srv2 := NewServer(handler)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("re-Listen: %v", err)
+	}
+	defer srv2.Close()
+	out, err := CallRetry(addr, "ping", nil, 200*time.Millisecond, 5)
+	if err != nil {
+		t.Fatalf("CallRetry after restart: %v", err)
+	}
+	if string(out) != "alive" {
+		t.Fatalf("reply = %q", out)
+	}
+}
+
+func TestCallRetryExhausts(t *testing.T) {
+	// Dial a port that nothing listens on.
+	if _, err := CallRetry("127.0.0.1:1", "x", nil, 50*time.Millisecond, 2); err == nil {
+		t.Fatal("CallRetry to dead address succeeded")
+	}
+}

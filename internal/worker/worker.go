@@ -1,0 +1,562 @@
+// Package worker implements the Elan worker-agent architecture as a fleet
+// of persistent goroutines: each agent owns its model replica and optimizer
+// and runs a long-lived loop processing commands (train one iteration,
+// install replicated state, leave). A controller drives the paper's
+// coordination protocol over the message bus — one agent acts as the
+// coordinator calling the AM's Coordinate API between iterations — and
+// applies adjustments without ever stopping the existing agents: new agents
+// are spawned and report asynchronously, state flows to them via the
+// replication hooks, and the collective group is rebuilt in place.
+//
+// Compared to core.LiveJob (which fans out fresh goroutines per step), the
+// fleet mirrors a real deployment: workers are resident processes with
+// mailboxes, and all control traffic crosses the transport layer.
+package worker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/elan-sys/elan/internal/collective"
+	"github.com/elan-sys/elan/internal/coord"
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/nn"
+	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/transport"
+)
+
+// command is one mailbox message to an agent.
+type command struct {
+	kind  cmdKind
+	rank  int // rank for this iteration (stepCmd)
+	n     int // group size (stepCmd)
+	lo    int // shard range (stepCmd)
+	hi    int
+	lr    float64
+	group *collective.Group
+	state []float64 // installCmd payload
+	reply chan result
+}
+
+type cmdKind int
+
+const (
+	stepCmd cmdKind = iota + 1
+	installCmd
+	exportCmd
+	stopCmd
+)
+
+type result struct {
+	loss  float64
+	state []float64
+	err   error
+}
+
+// Agent is one resident worker.
+type Agent struct {
+	Name string
+	net  *nn.MLP
+	opt  *nn.SGD
+	box  chan command
+	done chan struct{}
+}
+
+// newAgent builds an agent with a deterministic replica and starts its
+// loop. All agents share the construction seed, so initial replicas are
+// identical; joining agents are overwritten by replication anyway.
+func newAgent(name string, seed int64, sizes []int, lr, momentum float64, ds *data.Dataset) (*Agent, error) {
+	net, err := nn.NewMLP(rand.New(rand.NewSource(seed)), sizes)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(net.Params(), lr, momentum)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		Name: name,
+		net:  net,
+		opt:  opt,
+		box:  make(chan command),
+		done: make(chan struct{}),
+	}
+	go a.loop(ds)
+	return a, nil
+}
+
+// loop is the agent's resident goroutine.
+func (a *Agent) loop(ds *data.Dataset) {
+	defer close(a.done)
+	for cmd := range a.box {
+		switch cmd.kind {
+		case stepCmd:
+			cmd.reply <- a.step(ds, cmd)
+		case installCmd:
+			cmd.reply <- result{err: a.install(cmd.state)}
+		case exportCmd:
+			state := a.net.FlattenParams(nil)
+			state = a.opt.FlattenState(state)
+			cmd.reply <- result{state: state}
+		case stopCmd:
+			cmd.reply <- result{}
+			return
+		}
+	}
+}
+
+// step runs one data-parallel iteration: local forward/backward on the
+// shard, ring allreduce of the gradients, optimizer update.
+func (a *Agent) step(ds *data.Dataset, cmd command) result {
+	x, y, err := ds.Batch(cmd.lo, cmd.hi)
+	if err != nil {
+		return result{err: err}
+	}
+	a.net.ZeroGrads()
+	out, err := a.net.Forward(x)
+	if err != nil {
+		return result{err: err}
+	}
+	loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return result{err: err}
+	}
+	if err := a.net.Backward(grad); err != nil {
+		return result{err: err}
+	}
+	flat := a.net.FlattenGrads(nil)
+	if err := cmd.group.AllReduceMean(cmd.rank, flat); err != nil {
+		return result{err: err}
+	}
+	if err := a.net.LoadGrads(flat); err != nil {
+		return result{err: err}
+	}
+	a.opt.LR = cmd.lr
+	if err := a.opt.Step(a.net.Params(), a.net.Grads()); err != nil {
+		return result{err: err}
+	}
+	return result{loss: loss}
+}
+
+// install overwrites the replica with replicated state.
+func (a *Agent) install(state []float64) error {
+	n := a.net.NumParams()
+	if len(state) != n+a.opt.StateElements() {
+		return fmt.Errorf("worker: state of %d values, want %d", len(state), n+a.opt.StateElements())
+	}
+	if err := a.net.LoadParams(state[:n]); err != nil {
+		return err
+	}
+	return a.opt.LoadState(state[n:])
+}
+
+// send issues a command and waits for the result.
+func (a *Agent) send(cmd command) result {
+	cmd.reply = make(chan result, 1)
+	a.box <- cmd
+	return <-cmd.reply
+}
+
+// stop terminates the agent's loop.
+func (a *Agent) stop() {
+	a.send(command{kind: stopCmd})
+	<-a.done
+}
+
+// FleetConfig configures a worker fleet.
+type FleetConfig struct {
+	Dataset    *data.Dataset
+	LayerSizes []int
+	Workers    int
+	TotalBatch int
+	LR         float64
+	Momentum   float64
+	Seed       int64
+	// Bus carries coordination traffic; a lossless default is created when
+	// nil (tests inject lossy buses).
+	Bus *transport.Bus
+}
+
+// Fleet is the controller plus its resident agents.
+type Fleet struct {
+	mu sync.Mutex
+
+	cfg    FleetConfig
+	agents []*Agent
+	group  *collective.Group
+	loader *data.SerialLoader
+	am     *coord.AM
+	// coordinator is the client used by the lead worker; sched is the
+	// scheduler-side client that requests adjustments.
+	coordinator *coord.Client
+	sched       *coord.Client
+	// spawned holds agents that have been launched (asynchronously started)
+	// and reported, awaiting the adjustment that admits them.
+	spawned map[string]*Agent
+	iter    int
+	nextID  int
+	lr      float64
+	// learning-rate ramp state (progressive linear scaling)
+	lrRampFrom  float64
+	lrRampTo    float64
+	lrRampStart int
+	lrRampLen   int
+}
+
+// NewFleet builds the fleet, the AM and its service, and starts the initial
+// agents.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("worker: nil dataset")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("worker: non-positive worker count")
+	}
+	if cfg.TotalBatch <= 0 || cfg.TotalBatch%cfg.Workers != 0 {
+		return nil, fmt.Errorf("worker: total batch %d not divisible by %d workers",
+			cfg.TotalBatch, cfg.Workers)
+	}
+	if cfg.Bus == nil {
+		cfg.Bus = transport.NewBus(transport.DefaultBusConfig())
+	}
+	am, err := coord.NewAM("fleet", store.New())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := coord.NewService(am, cfg.Bus, "fleet-am"); err != nil {
+		return nil, err
+	}
+	coordinator, err := coord.NewClient(cfg.Bus, "fleet-lead", "fleet-am")
+	if err != nil {
+		return nil, err
+	}
+	sched, err := coord.NewClient(cfg.Bus, "fleet-sched", "fleet-am")
+	if err != nil {
+		return nil, err
+	}
+	loader, err := data.NewSerialLoader(cfg.Dataset.N())
+	if err != nil {
+		return nil, err
+	}
+	group, err := collective.NewGroup(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:         cfg,
+		group:       group,
+		loader:      loader,
+		am:          am,
+		coordinator: coordinator,
+		sched:       sched,
+		spawned:     make(map[string]*Agent),
+		lr:          cfg.LR,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		a, err := f.spawnAgent()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.agents = append(f.agents, a)
+	}
+	return f, nil
+}
+
+func (f *Fleet) spawnAgent() (*Agent, error) {
+	name := fmt.Sprintf("agent-%d", f.nextID)
+	f.nextID++
+	return newAgent(name, f.cfg.Seed, f.cfg.LayerSizes, f.lr, f.cfg.Momentum, f.cfg.Dataset)
+}
+
+// NumWorkers returns the active agent count.
+func (f *Fleet) NumWorkers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.agents)
+}
+
+// Iteration returns completed iterations.
+func (f *Fleet) Iteration() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.iter
+}
+
+// RequestScaleOut launches n new agents asynchronously (they report to the
+// AM when "initialized") and registers the adjustment with the AM. The
+// fleet keeps training; the adjustment is applied by a later Step's
+// coordination, exactly as the paper's mechanism prescribes.
+func (f *Fleet) RequestScaleOut(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("worker: scale out by %d", n)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.TotalBatch%(len(f.agents)+n) != 0 {
+		return fmt.Errorf("worker: total batch %d not divisible by %d workers",
+			f.cfg.TotalBatch, len(f.agents)+n)
+	}
+	names := make([]string, 0, n)
+	fresh := make([]*Agent, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := f.spawnAgent()
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, a)
+		names = append(names, a.Name)
+	}
+	if err := f.sched.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
+		for _, a := range fresh {
+			a.stop()
+		}
+		return err
+	}
+	for i, a := range fresh {
+		f.spawned[a.Name] = a
+		// The agent "starts and initializes" in the background and then
+		// reports. Construction already happened; the report goes over the
+		// bus like a real worker's would.
+		go func(name string) {
+			cl, err := coord.NewClient(f.cfg.Bus, name, "fleet-am")
+			if err != nil {
+				return
+			}
+			_ = cl.ReportReady(name)
+		}(names[i])
+	}
+	return nil
+}
+
+// RequestScaleIn registers a scale-in of the last n agents.
+func (f *Fleet) RequestScaleIn(n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 || n >= len(f.agents) {
+		return fmt.Errorf("worker: scale in by %d of %d", n, len(f.agents))
+	}
+	if f.cfg.TotalBatch%(len(f.agents)-n) != 0 {
+		return fmt.Errorf("worker: total batch %d not divisible by %d workers",
+			f.cfg.TotalBatch, len(f.agents)-n)
+	}
+	names := make([]string, 0, n)
+	for _, a := range f.agents[len(f.agents)-n:] {
+		names = append(names, a.Name)
+	}
+	return f.sched.RequestAdjustment(coord.ScaleIn, nil, names)
+}
+
+// Step runs one training iteration: the lead worker coordinates with the
+// AM first (applying a pending adjustment if one is ready), then all agents
+// execute the iteration concurrently.
+func (f *Fleet) Step() (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	adj, ok, err := f.coordinator.Coordinate()
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		if err := f.applyAdjustment(adj); err != nil {
+			return 0, err
+		}
+	}
+	lr := f.currentLR()
+	n := len(f.agents)
+	per := f.cfg.TotalBatch / n
+	type shard struct{ lo, hi int }
+	shards := make([]shard, n)
+	for w := 0; w < n; w++ {
+		lo, hi, err := f.loader.NextBatch(w, n, per)
+		if err != nil {
+			return 0, err
+		}
+		shards[w] = shard{lo, hi}
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w] = f.agents[w].send(command{
+				kind:  stepCmd,
+				rank:  w,
+				n:     n,
+				lo:    shards[w].lo,
+				hi:    shards[w].hi,
+				lr:    lr,
+				group: f.group,
+			})
+		}()
+	}
+	wg.Wait()
+	var loss float64
+	for _, r := range results {
+		if r.err != nil {
+			return 0, r.err
+		}
+		loss += r.loss
+	}
+	f.iter++
+	return loss / float64(n), nil
+}
+
+// applyAdjustment performs steps 4 and 5 of the procedure for a delivered
+// adjustment: admit reported agents with replicated state, or retire
+// leaving agents, then rebuild the group and repartition.
+func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
+	oldN := len(f.agents)
+	switch adj.Kind {
+	case coord.ScaleOut:
+		src := f.agents[0].send(command{kind: exportCmd})
+		if src.err != nil {
+			return src.err
+		}
+		for _, name := range adj.Add {
+			a, ok := f.spawned[name]
+			if !ok {
+				return fmt.Errorf("worker: adjustment admits unknown agent %q", name)
+			}
+			delete(f.spawned, name)
+			if r := a.send(command{kind: installCmd, state: src.state}); r.err != nil {
+				return r.err
+			}
+			f.agents = append(f.agents, a)
+		}
+	case coord.ScaleIn:
+		leaving := make(map[string]bool, len(adj.Remove))
+		for _, name := range adj.Remove {
+			leaving[name] = true
+		}
+		var stay []*Agent
+		for _, a := range f.agents {
+			if leaving[a.Name] {
+				a.stop()
+			} else {
+				stay = append(stay, a)
+			}
+		}
+		if len(stay) == len(f.agents) {
+			return fmt.Errorf("worker: scale-in removed no agents")
+		}
+		f.agents = stay
+	default:
+		return fmt.Errorf("worker: unsupported adjustment %v", adj.Kind)
+	}
+	if err := f.loader.Repartition(oldN, len(f.agents)); err != nil {
+		return err
+	}
+	f.group.Close()
+	group, err := collective.NewGroup(len(f.agents))
+	if err != nil {
+		return err
+	}
+	f.group = group
+	return nil
+}
+
+// SetTotalBatch changes the fleet's total batch size, ramping the learning
+// rate linearly to lr*k over rampIters iterations when progressive is true
+// (the progressive linear scaling rule). The new batch must be divisible by
+// the current worker count.
+func (f *Fleet) SetTotalBatch(tbs, rampIters int, progressive bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if tbs <= 0 || tbs%len(f.agents) != 0 {
+		return fmt.Errorf("worker: total batch %d not divisible by %d workers", tbs, len(f.agents))
+	}
+	k := float64(tbs) / float64(f.cfg.TotalBatch)
+	target := f.lr * k
+	if progressive && rampIters > 0 {
+		f.lrRampFrom = f.lr
+		f.lrRampTo = target
+		f.lrRampStart = f.iter
+		f.lrRampLen = rampIters
+	} else {
+		f.lr = target
+		f.lrRampLen = 0
+	}
+	f.cfg.TotalBatch = tbs
+	return nil
+}
+
+// currentLR returns the learning rate for the current iteration, applying
+// any ramp in progress. Callers hold f.mu.
+func (f *Fleet) currentLR() float64 {
+	if f.lrRampLen > 0 {
+		t := f.iter - f.lrRampStart
+		if t >= f.lrRampLen {
+			f.lr = f.lrRampTo
+			f.lrRampLen = 0
+		} else {
+			return f.lrRampFrom + float64(t)/float64(f.lrRampLen)*(f.lrRampTo-f.lrRampFrom)
+		}
+	}
+	return f.lr
+}
+
+// Evaluate measures agent 0's replica on a dataset.
+func (f *Fleet) Evaluate(ds *data.Dataset) (loss, acc float64, err error) {
+	f.mu.Lock()
+	a := f.agents[0]
+	f.mu.Unlock()
+	x, y, err := ds.Batch(0, ds.N())
+	if err != nil {
+		return 0, 0, err
+	}
+	// Evaluation runs on the controller; the agent's net is only touched
+	// between steps (the fleet lock is held by Step), so a direct forward
+	// is safe here as long as callers do not Step concurrently.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out, err := a.net.Forward(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, _, err = nn.SoftmaxCrossEntropy(out, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	acc, err = nn.Accuracy(out, y)
+	return loss, acc, err
+}
+
+// ReplicasConsistent checks the data-parallel invariant across agents.
+func (f *Fleet) ReplicasConsistent() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ref := f.agents[0].net.FlattenParams(nil)
+	for _, a := range f.agents[1:] {
+		p := a.net.FlattenParams(nil)
+		if len(p) != len(ref) {
+			return false
+		}
+		for i := range p {
+			if p[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Close stops all agents (including spawned-but-unadmitted ones).
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range f.agents {
+		a.stop()
+	}
+	f.agents = nil
+	for _, a := range f.spawned {
+		a.stop()
+	}
+	f.spawned = nil
+	if f.group != nil {
+		f.group.Close()
+	}
+}

@@ -1,0 +1,217 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/transport"
+)
+
+func dataset(t *testing.T, n int) *data.Dataset {
+	t.Helper()
+	d, err := data.GenGaussianMixture(21, n, 4, 3)
+	if err != nil {
+		t.Fatalf("GenGaussianMixture: %v", err)
+	}
+	return d
+}
+
+func fleet(t *testing.T, workers, tbs int, bus *transport.Bus) *Fleet {
+	t.Helper()
+	f, err := NewFleet(FleetConfig{
+		Dataset:    dataset(t, 1024),
+		LayerSizes: []int{4, 16, 3},
+		Workers:    workers,
+		TotalBatch: tbs,
+		LR:         0.05,
+		Momentum:   0.9,
+		Seed:       21,
+		Bus:        bus,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	d := dataset(t, 128)
+	cases := []FleetConfig{
+		{Dataset: nil, LayerSizes: []int{4, 3}, Workers: 2, TotalBatch: 8, LR: 0.1},
+		{Dataset: d, LayerSizes: []int{4, 3}, Workers: 0, TotalBatch: 8, LR: 0.1},
+		{Dataset: d, LayerSizes: []int{4, 3}, Workers: 3, TotalBatch: 8, LR: 0.1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewFleet(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFleetTrains(t *testing.T) {
+	f := fleet(t, 4, 64, nil)
+	var first, last float64
+	for i := 0; i < 100; i++ {
+		loss, err := f.Step()
+		if err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first*0.75 {
+		t.Fatalf("loss barely moved: %v -> %v", first, last)
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas diverged")
+	}
+	if f.Iteration() != 100 {
+		t.Fatalf("Iteration = %d", f.Iteration())
+	}
+}
+
+func TestFleetScaleOutViaProtocol(t *testing.T) {
+	f := fleet(t, 2, 32, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if err := f.RequestScaleOut(2); err != nil {
+		t.Fatalf("RequestScaleOut: %v", err)
+	}
+	// The new agents report over the bus asynchronously; keep training
+	// until a coordination picks the adjustment up.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.NumWorkers() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("adjustment never applied; workers = %d", f.NumWorkers())
+		}
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas inconsistent after scale-out")
+	}
+	// Training continues at 4 workers.
+	for i := 0; i < 10; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step after scale-out: %v", err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas diverged after scale-out training")
+	}
+}
+
+func TestFleetScaleInViaProtocol(t *testing.T) {
+	f := fleet(t, 4, 32, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if err := f.RequestScaleIn(2); err != nil {
+		t.Fatalf("RequestScaleIn: %v", err)
+	}
+	// Scale-in is immediately Ready; the next step applies it.
+	if _, err := f.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if f.NumWorkers() != 2 {
+		t.Fatalf("workers = %d, want 2", f.NumWorkers())
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step after scale-in: %v", err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas inconsistent after scale-in")
+	}
+}
+
+func TestFleetScaleRequestsValidated(t *testing.T) {
+	f := fleet(t, 2, 32, nil)
+	if err := f.RequestScaleOut(0); err == nil {
+		t.Fatal("zero scale-out accepted")
+	}
+	if err := f.RequestScaleOut(3); err == nil {
+		t.Fatal("indivisible scale-out accepted") // 32 % 5 != 0
+	}
+	if err := f.RequestScaleIn(2); err == nil {
+		t.Fatal("scale-in to zero accepted")
+	}
+	if err := f.RequestScaleIn(0); err == nil {
+		t.Fatal("zero scale-in accepted")
+	}
+}
+
+func TestFleetSurvivesLossyBus(t *testing.T) {
+	cfg := transport.DefaultBusConfig()
+	cfg.DropRate = 0.3
+	cfg.Seed = 5
+	cfg.AckTimeout = 4 * time.Millisecond
+	cfg.MaxRetries = 100
+	bus := transport.NewBus(cfg)
+	f := fleet(t, 2, 32, bus)
+	if err := f.RequestScaleOut(2); err != nil {
+		t.Fatalf("RequestScaleOut under loss: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.NumWorkers() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("adjustment lost on lossy bus")
+		}
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas inconsistent")
+	}
+}
+
+func TestFleetEvaluate(t *testing.T) {
+	f := fleet(t, 2, 32, nil)
+	for i := 0; i < 60; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	_, acc, err := f.Evaluate(dataset(t, 512))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("accuracy %.3f too low", acc)
+	}
+}
+
+func TestFleetSetTotalBatchProgressive(t *testing.T) {
+	f := fleet(t, 2, 32, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	if err := f.SetTotalBatch(64, 10, true); err != nil {
+		t.Fatalf("SetTotalBatch: %v", err)
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step after batch change: %v", err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas inconsistent after batch change")
+	}
+	if err := f.SetTotalBatch(33, 10, true); err == nil {
+		t.Fatal("indivisible batch accepted")
+	}
+}
