@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	elan "github.com/elan-sys/elan"
 )
@@ -80,13 +83,17 @@ func main() {
 		schedule = flag.String("schedule", "", "adjustments, e.g. 200:out2,400:batch128")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *workers, *tbs, *iters, *lr, *seed, *schedule); err != nil {
+	// Ctrl-C cancels the run context: an adjustment in flight unwinds
+	// cleanly instead of being killed halfway.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, *workers, *tbs, *iters, *lr, *seed, *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "elan-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, workers, tbs, iters int, lr float64, seed int64, schedule string) error {
+func run(ctx context.Context, w io.Writer, workers, tbs, iters int, lr float64, seed int64, schedule string) error {
 	actions, err := parseSchedule(schedule)
 	if err != nil {
 		return err
@@ -135,18 +142,25 @@ func run(w io.Writer, workers, tbs, iters int, lr float64, seed int64, schedule 
 			var aerr error
 			switch a.verb {
 			case "out":
-				aerr = job.ScaleOut(a.arg)
+				aerr = job.ScaleOutCtx(ctx, a.arg)
 			case "in":
-				aerr = job.ScaleIn(a.arg)
+				aerr = job.ScaleInCtx(ctx, a.arg)
 			case "batch":
 				aerr = job.SetTotalBatch(a.arg, 40, true)
 			}
 			if aerr != nil {
 				return fmt.Errorf("iteration %d action %s%d: %w", i, a.verb, a.arg, aerr)
 			}
+			if a.verb != "batch" {
+				fmt.Fprintf(w, "%-18s adjustment took %v\n",
+					fmt.Sprintf("%s%d timing", a.verb, a.arg), job.LastAdjustDuration())
+			}
 			if err := report(fmt.Sprintf("after %s%d", a.verb, a.arg)); err != nil {
 				return err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted at iteration %d: %w", i, err)
 		}
 		if _, err := job.Step(); err != nil {
 			return err

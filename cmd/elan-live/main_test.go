@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -35,11 +36,11 @@ func TestParseScheduleErrors(t *testing.T) {
 
 func TestRunWithSchedule(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 2, 64, 120, 0.02, 7, "40:out2,80:batch128"); err != nil {
+	if err := run(context.Background(), &b, 2, 64, 120, 0.02, 7, "40:out2,80:batch128"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := b.String()
-	for _, want := range []string{"after out2", "after batch128", "final", "consistent=true"} {
+	for _, want := range []string{"after out2", "out2 timing", "after batch128", "final", "consistent=true"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
@@ -52,8 +53,17 @@ func TestRunWithSchedule(t *testing.T) {
 func TestRunBadAction(t *testing.T) {
 	var b strings.Builder
 	// Scale in below 1 worker fails at execution time.
-	if err := run(&b, 2, 64, 50, 0.02, 7, "10:in2"); err == nil {
+	if err := run(context.Background(), &b, 2, 64, 50, 0.02, 7, "10:in2"); err == nil {
 		t.Fatal("impossible scale-in accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	var b strings.Builder
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, &b, 2, 64, 50, 0.02, 7, ""); err == nil {
+		t.Fatal("cancelled run returned nil error")
 	}
 }
 

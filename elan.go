@@ -24,6 +24,7 @@ import (
 
 	"github.com/elan-sys/elan/internal/baseline"
 	"github.com/elan-sys/elan/internal/checkpoint"
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/coord"
 	"github.com/elan-sys/elan/internal/core"
 	"github.com/elan-sys/elan/internal/data"
@@ -102,6 +103,12 @@ type (
 	DynamicEngine = engine.DynamicEngine
 	// Snapshot is a LiveJob's complete serializable training state.
 	Snapshot = core.Snapshot
+	// Clock is the injectable time source used across the runtime. All
+	// timeout, backoff and liveness logic goes through a Clock, so tests
+	// and simulations can run on virtual time (see NewSimClock).
+	Clock = clock.Clock
+	// SimClock is a discrete-event virtual clock implementing Clock.
+	SimClock = clock.Sim
 )
 
 // Adjustment kinds.
@@ -213,6 +220,16 @@ func TraceUtilization(jobs []TraceJob, gpus int, step time.Duration) (hours, uti
 
 // NewFleet builds the resident worker-agent runtime.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return worker.NewFleet(cfg) }
+
+// WallClock returns the real-time Clock (the default everywhere a config's
+// Clock field is nil).
+func WallClock() Clock { return clock.Wall{} }
+
+// NewSimClock returns a virtual clock starting at epoch. Inject it via
+// LiveConfig.Clock or FleetConfig.Clock to run timeout and liveness logic
+// on deterministic discrete-event time; drive it with Advance, or start
+// AutoAdvance to have it jump to each next deadline automatically.
+func NewSimClock(epoch time.Time) *SimClock { return clock.NewSim(epoch) }
 
 // NewStaticEngine builds the Caffe-like precompiled training engine.
 func NewStaticEngine(seed int64, sizes []int, lr, momentum float64) (*StaticEngine, error) {

@@ -1,0 +1,198 @@
+package clock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallImplementsClock(t *testing.T) {
+	var c Clock = Wall{}
+	before := c.Now()
+	if err := c.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if c.Since(before) <= 0 {
+		t.Fatal("time did not advance")
+	}
+}
+
+func TestWallSleepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var w Wall
+	if err := w.Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimNowAndAdvance(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now = %v, want epoch", got)
+	}
+	s.Advance(3 * time.Second)
+	if got := s.Now(); !got.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("Now = %v after advance", got)
+	}
+	if s.Elapsed() != 3*time.Second {
+		t.Fatalf("Elapsed = %v", s.Elapsed())
+	}
+	s.Advance(-time.Second) // no-op
+	if s.Elapsed() != 3*time.Second {
+		t.Fatalf("negative advance moved time: %v", s.Elapsed())
+	}
+}
+
+func TestSimSleepWakesOnAdvance(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	done := make(chan error, 1)
+	go func() { done <- s.Sleep(context.Background(), 10*time.Second) }()
+	// Wait until the sleeper registered, then release it.
+	waitPending(t, s, 1)
+	s.Advance(10 * time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Sleep: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper never woke")
+	}
+}
+
+func TestSimSleepCancelled(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Sleep(ctx, time.Hour) }()
+	waitPending(t, s, 1)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled sleeper never returned")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("cancelled sleep left %d waiters", s.Pending())
+	}
+}
+
+func TestSimTimerFiresOnce(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	tm := s.NewTimer(5 * time.Second)
+	s.Advance(4 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	s.Advance(time.Second)
+	at := <-tm.C()
+	if !at.Equal(time.Unix(5, 0)) {
+		t.Fatalf("fired at %v", at)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on fired timer reported active")
+	}
+}
+
+func TestSimTimerStopAndReset(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	tm := s.NewTimer(5 * time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported inactive")
+	}
+	s.Advance(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	tm.Reset(2 * time.Second)
+	s.Advance(2 * time.Second)
+	if got := <-tm.C(); !got.Equal(time.Unix(12, 0)) {
+		t.Fatalf("reset timer fired at %v", got)
+	}
+}
+
+func TestSimTickerTicksAndStops(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	k := s.NewTicker(time.Second)
+	for i := 1; i <= 3; i++ {
+		s.Advance(time.Second)
+		got := <-k.C()
+		if !got.Equal(time.Unix(int64(i), 0)) {
+			t.Fatalf("tick %d at %v", i, got)
+		}
+	}
+	// A lagging receiver drops ticks instead of queueing them.
+	s.Advance(5 * time.Second)
+	<-k.C()
+	select {
+	case at := <-k.C():
+		t.Fatalf("queued tick delivered: %v", at)
+	default:
+	}
+	k.Stop()
+	pend := s.Pending()
+	s.Advance(10 * time.Second)
+	if s.Pending() != 0 || pend != 0 {
+		t.Fatalf("stopped ticker still scheduled (%d pending)", pend)
+	}
+}
+
+func TestSimAutoAdvanceDrivesWaiters(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	stop := s.AutoAdvance(0)
+	defer stop()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// An hour of virtual time per sleeper; wall cost must be tiny.
+			for j := 0; j < 6; j++ {
+				if err := s.Sleep(context.Background(), 10*time.Minute); err != nil {
+					t.Errorf("Sleep: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if real := time.Since(start); real > 5*time.Second {
+		t.Fatalf("auto-advance took %v of real time", real)
+	}
+	if s.Elapsed() < time.Hour {
+		t.Fatalf("virtual time only advanced %v", s.Elapsed())
+	}
+}
+
+func TestSimDeterministicOrder(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	a := s.NewTimer(time.Second)
+	b := s.NewTimer(time.Second)
+	s.Advance(time.Second)
+	ta, tb := <-a.C(), <-b.C()
+	if !ta.Equal(tb) {
+		t.Fatalf("same-deadline timers fired at %v and %v", ta, tb)
+	}
+}
+
+// waitPending blocks until the sim clock has at least n registered waiters.
+func waitPending(t *testing.T, s *Sim, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Pending() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters registered, want %d", s.Pending(), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,69 @@
+package clock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRuntimePackagesUseInjectedClock enforces the unified-time invariant:
+// no non-test file in the coordination stack (transport, coord, worker)
+// may read or wait on wall time directly — all timing must flow through an
+// injected clock.Clock so the whole stack runs identically on simulated
+// time. The CI workflow runs the same check via grep; this test keeps it
+// enforced locally and survives workflow drift.
+func TestRuntimePackagesUseInjectedClock(t *testing.T) {
+	banned := map[string]bool{
+		"Sleep": true, "After": true, "AfterFunc": true, "Now": true,
+		"NewTimer": true, "NewTicker": true, "Tick": true, "Since": true,
+	}
+	var violations []string
+	for _, dir := range []string{"../transport", "../coord", "../worker"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("ReadDir %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			// Only selector expressions on the time package identifier
+			// count; time.Duration / time.Time type references are fine.
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != "time" || id.Obj != nil {
+					return true
+				}
+				if banned[sel.Sel.Name] {
+					violations = append(violations, fmt.Sprintf("%s: time.%s",
+						fset.Position(call.Pos()), sel.Sel.Name))
+				}
+				return true
+			})
+		}
+	}
+	if len(violations) > 0 {
+		t.Fatalf("direct wall-clock calls in runtime packages (inject a clock.Clock instead):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}

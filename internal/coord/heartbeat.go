@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
 )
 
 // HeartbeatMonitor tracks worker liveness for the AM. The paper's fault
@@ -14,31 +16,32 @@ import (
 // Section VII). Workers piggyback a heartbeat on their periodic
 // coordination; the monitor reports the ones whose heartbeats lapsed.
 //
-// The monitor takes the clock as a function so simulations can drive it
-// with virtual time.
+// The monitor reads time from an injected clock.Clock, so the same code
+// runs on wall time in a deployment and on deterministic virtual time in
+// tests and the simulator.
 type HeartbeatMonitor struct {
 	mu   sync.Mutex
-	now  func() time.Time
+	clk  clock.Clock
 	last map[string]time.Time
 }
 
 // ErrNilClock is returned when constructing a monitor without a clock.
 var ErrNilClock = errors.New("coord: nil clock")
 
-// NewHeartbeatMonitor creates a monitor reading time from now (use
-// time.Now in production).
-func NewHeartbeatMonitor(now func() time.Time) (*HeartbeatMonitor, error) {
-	if now == nil {
+// NewHeartbeatMonitor creates a monitor reading time from clk (use
+// clock.Wall{} in production, a clock.Sim in tests).
+func NewHeartbeatMonitor(clk clock.Clock) (*HeartbeatMonitor, error) {
+	if clk == nil {
 		return nil, ErrNilClock
 	}
-	return &HeartbeatMonitor{now: now, last: make(map[string]time.Time)}, nil
+	return &HeartbeatMonitor{clk: clk, last: make(map[string]time.Time)}, nil
 }
 
 // Beat records a heartbeat from worker.
 func (h *HeartbeatMonitor) Beat(worker string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.last[worker] = h.now()
+	h.last[worker] = h.clk.Now()
 }
 
 // Forget removes a worker (it left the job deliberately).
@@ -60,12 +63,14 @@ func (h *HeartbeatMonitor) Tracked() []string {
 	return out
 }
 
-// Expired returns the workers whose last heartbeat is older than ttl,
-// sorted. The scheduler reacts by requesting a replacement adjustment.
+// Expired returns the workers whose last heartbeat is strictly older than
+// ttl, sorted — a beat exactly ttl ago is still considered alive, so the
+// TTL boundary is inclusive. The scheduler reacts by requesting a
+// replacement adjustment.
 func (h *HeartbeatMonitor) Expired(ttl time.Duration) []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	deadline := h.now().Add(-ttl)
+	deadline := h.clk.Now().Add(-ttl)
 	var out []string
 	for w, at := range h.last {
 		if at.Before(deadline) {

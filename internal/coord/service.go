@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -52,23 +53,40 @@ type StateReplyMsg struct {
 
 // Service binds an AM to a bus endpoint.
 type Service struct {
-	am *AM
-	ep *transport.Endpoint
+	am   *AM
+	ep   *transport.Endpoint
+	bus  *transport.Bus
+	name string
 }
 
-// NewService registers the AM at name on the bus and starts serving.
+// NewService registers the AM at name on the bus and starts serving. The
+// service lives until Close (or bus shutdown).
 func NewService(am *AM, bus *transport.Bus, name string) (*Service, error) {
+	return NewServiceCtx(context.Background(), am, bus, name)
+}
+
+// NewServiceCtx is NewService under a parent lifecycle context: when ctx
+// is cancelled the service deregisters from the bus, so an AM torn down by
+// its job's context stops answering automatically.
+func NewServiceCtx(ctx context.Context, am *AM, bus *transport.Bus, name string) (*Service, error) {
 	if am == nil {
 		return nil, fmt.Errorf("coord: nil AM")
 	}
-	s := &Service{am: am}
+	s := &Service{am: am, bus: bus, name: name}
 	ep, err := bus.Endpoint(name, s.handle)
 	if err != nil {
 		return nil, fmt.Errorf("coord: register service: %w", err)
 	}
 	s.ep = ep
+	if ctx != nil && ctx.Done() != nil {
+		context.AfterFunc(ctx, s.Close)
+	}
 	return s, nil
 }
+
+// Close deregisters the service's endpoint from the bus; in-flight calls
+// against it fail with transport.ErrClosed. Closing twice is safe.
+func (s *Service) Close() { s.bus.Remove(s.name) }
 
 func (s *Service) handle(m transport.Message) ([]byte, error) {
 	switch m.Kind {
@@ -107,8 +125,11 @@ func (s *Service) handle(m transport.Message) ([]byte, error) {
 	}
 }
 
-// Client is the worker/scheduler side of the AM service.
+// Client is the worker/scheduler side of the AM service. Every call runs
+// under the client's parent context, so cancelling it aborts in-flight
+// resend loops.
 type Client struct {
+	ctx    context.Context
 	ep     *transport.Endpoint
 	amName string
 }
@@ -116,11 +137,20 @@ type Client struct {
 // NewClient creates a client endpoint named name talking to the AM at
 // amName on the same bus.
 func NewClient(bus *transport.Bus, name, amName string) (*Client, error) {
+	return NewClientCtx(context.Background(), bus, name, amName)
+}
+
+// NewClientCtx is NewClient with a parent context bounding every call the
+// client makes.
+func NewClientCtx(ctx context.Context, bus *transport.Bus, name, amName string) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ep, err := bus.Endpoint(name, nil)
 	if err != nil {
 		return nil, fmt.Errorf("coord: client endpoint: %w", err)
 	}
-	return &Client{ep: ep, amName: amName}, nil
+	return &Client{ctx: ctx, ep: ep, amName: amName}, nil
 }
 
 // RequestAdjustment calls the AM's service API over the bus.
@@ -129,7 +159,7 @@ func (c *Client) RequestAdjustment(kind Kind, add, remove []string) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.ep.Call(c.amName, KindAdjustRequest, payload)
+	_, err = c.ep.CallCtx(c.ctx, c.amName, KindAdjustRequest, payload)
 	return err
 }
 
@@ -139,13 +169,13 @@ func (c *Client) ReportReady(worker string) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.ep.Call(c.amName, KindWorkerReport, payload)
+	_, err = c.ep.CallCtx(c.ctx, c.amName, KindWorkerReport, payload)
 	return err
 }
 
 // Coordinate polls the AM for a pending adjustment.
 func (c *Client) Coordinate() (Adjustment, bool, error) {
-	out, err := c.ep.Call(c.amName, KindCoordinate, nil)
+	out, err := c.ep.CallCtx(c.ctx, c.amName, KindCoordinate, nil)
 	if err != nil {
 		return Adjustment{}, false, err
 	}
@@ -158,7 +188,7 @@ func (c *Client) Coordinate() (Adjustment, bool, error) {
 
 // AMState fetches the AM's state for monitoring.
 func (c *Client) AMState() (StateReplyMsg, error) {
-	out, err := c.ep.Call(c.amName, KindAMState, nil)
+	out, err := c.ep.CallCtx(c.ctx, c.amName, KindAMState, nil)
 	if err != nil {
 		return StateReplyMsg{}, err
 	}

@@ -4,13 +4,20 @@ import (
 	"testing"
 	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/transport"
 )
 
+// setupService builds a service on a sim-clock bus: ack timeouts and resends
+// run on auto-advanced virtual time.
 func setupService(t *testing.T, cfg transport.BusConfig) (*transport.Bus, *AM) {
 	t.Helper()
+	sim := clock.NewSim(time.Unix(0, 0))
+	t.Cleanup(sim.AutoAdvance(0))
+	cfg.Clock = sim
 	bus := transport.NewBus(cfg)
+	t.Cleanup(bus.Close)
 	am, err := NewAM("job1", store.New())
 	if err != nil {
 		t.Fatalf("NewAM: %v", err)

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -27,6 +28,12 @@ type TCPService struct {
 
 // NewTCPService starts serving am on addr ("127.0.0.1:0" for ephemeral).
 func NewTCPService(am *AM, addr string) (*TCPService, error) {
+	return NewTCPServiceCtx(context.Background(), am, addr)
+}
+
+// NewTCPServiceCtx is NewTCPService under a parent lifecycle context:
+// cancelling ctx shuts the server down, tearing open connections.
+func NewTCPServiceCtx(ctx context.Context, am *AM, addr string) (*TCPService, error) {
 	if am == nil {
 		return nil, fmt.Errorf("coord: nil AM")
 	}
@@ -37,6 +44,9 @@ func NewTCPService(am *AM, addr string) (*TCPService, error) {
 		return nil, fmt.Errorf("coord: tcp service: %w", err)
 	}
 	s.Addr = bound
+	if ctx != nil && ctx.Done() != nil {
+		context.AfterFunc(ctx, s.Close)
+	}
 	return s, nil
 }
 
@@ -80,20 +90,39 @@ func (s *TCPService) handle(m transport.Message) ([]byte, error) {
 	}
 }
 
-// TCPClient talks to a TCPService.
+// TCPClient talks to a TCPService. Calls dial per request and ride out AM
+// restarts via the retry policy's exponential backoff; the client's parent
+// context bounds every call, giving reconnect loops a hard deadline.
 type TCPClient struct {
+	ctx     context.Context
 	addr    string
 	timeout time.Duration
-	retries int
+	policy  transport.RetryPolicy
 }
 
-// NewTCPClient creates a client for the AM at addr.
+// NewTCPClient creates a client for the AM at addr with the default
+// timeout and reconnect policy.
 func NewTCPClient(addr string) *TCPClient {
-	return &TCPClient{addr: addr, timeout: 2 * time.Second, retries: 5}
+	return NewTCPClientCtx(context.Background(), addr, 0, transport.RetryPolicy{})
+}
+
+// NewTCPClientCtx creates a client whose calls run under ctx with the
+// given per-call timeout and retry policy (zero values select defaults).
+func NewTCPClientCtx(ctx context.Context, addr string, timeout time.Duration, policy transport.RetryPolicy) *TCPClient {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if timeout <= 0 {
+		timeout = transport.DefaultCallTimeout
+	}
+	if policy.Attempts <= 0 {
+		policy.Attempts = 5
+	}
+	return &TCPClient{ctx: ctx, addr: addr, timeout: timeout, policy: policy}
 }
 
 func (c *TCPClient) call(kind string, payload []byte) ([]byte, error) {
-	return transport.CallRetry(c.addr, kind, payload, c.timeout, c.retries)
+	return transport.CallRetry(c.ctx, c.addr, kind, payload, c.timeout, c.policy)
 }
 
 // RequestAdjustment invokes the service API over TCP.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/collective"
 	"github.com/elan-sys/elan/internal/coord"
 	"github.com/elan-sys/elan/internal/data"
@@ -43,6 +46,11 @@ type LiveJob struct {
 	lrSched  *scaling.LRSchedule
 	seed     int64
 	nextName int
+
+	// clk times adjustments (the paper's sub-second adjustment-latency
+	// accounting); lastAdjust is the duration of the most recent one.
+	clk        clock.Clock
+	lastAdjust time.Duration
 }
 
 // liveWorker is one data-parallel replica.
@@ -68,6 +76,10 @@ type LiveConfig struct {
 	Momentum float64
 	// Seed makes the run deterministic.
 	Seed int64
+	// Clock is the time source used to measure adjustment latency; nil
+	// selects the wall clock. Simulated runs inject a clock.Sim so the
+	// job and the simulator share one notion of time.
+	Clock clock.Clock
 }
 
 // NewLiveJob builds the job, initializes identical replicas on all workers
@@ -110,6 +122,9 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
 	lj := &LiveJob{
 		dataset:  cfg.Dataset,
 		layers:   append([]int(nil), cfg.LayerSizes...),
@@ -120,6 +135,7 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 		tbs:      cfg.TotalBatch,
 		lrSched:  lrSched,
 		seed:     cfg.Seed,
+		clk:      cfg.Clock,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := lj.buildWorker(cfg.LR)
@@ -345,11 +361,25 @@ func (lj *LiveJob) ForceLR(lr float64) error {
 // The total batch size is unchanged (strong scaling); combine with
 // SetTotalBatch for weak or hybrid scaling.
 func (lj *LiveJob) ScaleOut(n int) error {
+	return lj.ScaleOutCtx(context.Background(), n)
+}
+
+// ScaleOutCtx is ScaleOut under a caller context. Cancellation is honored
+// at the step boundaries before the request is registered with the AM —
+// the commit point — and unwinds cleanly: freshly built replicas are
+// discarded and no job state changes. Once the AM has accepted the
+// request the adjustment runs to completion, preserving the protocol's
+// atomicity.
+func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("core: scale-out by %d", n)
 	}
 	lj.mu.Lock()
 	defer lj.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: scale-out cancelled: %w", err)
+	}
+	start := lj.clk.Now()
 	oldN := len(lj.workers)
 	if lj.tbs%(oldN+n) != 0 {
 		return fmt.Errorf("core: total batch %d not divisible by %d workers", lj.tbs, oldN+n)
@@ -367,6 +397,11 @@ func (lj *LiveJob) ScaleOut(n int) error {
 		}
 		fresh = append(fresh, w)
 		names = append(names, w.name)
+	}
+	// Last cancellation point: the fresh replicas are garbage-collected
+	// and nothing was registered anywhere.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: scale-out cancelled before request: %w", err)
 	}
 	if err := lj.am.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
 		return err
@@ -386,16 +421,20 @@ func (lj *LiveJob) ScaleOut(n int) error {
 		return fmt.Errorf("core: coordination did not fire (ok=%v)", ok)
 	}
 	// Step 4: state replication. Each new worker copies from a source
-	// existing worker via the registered hooks (real byte movement).
+	// existing worker via the registered hooks (real byte movement). On a
+	// replication failure the fresh workers are rolled back so the job is
+	// left at its old size with consistent survivors.
 	lj.workers = append(lj.workers, fresh...)
 	for i := 0; i < n; i++ {
 		src := i % oldN // spread sources like the concurrent planner
 		if err := lj.copier.Execute(src, oldN+i); err != nil {
+			lj.workers = lj.workers[:oldN]
 			return err
 		}
 	}
 	// Step 5: state adjustment — repartition and group reconstruction.
 	if err := lj.loader.Repartition(oldN, oldN+n); err != nil {
+		lj.workers = lj.workers[:oldN]
 		return err
 	}
 	lj.group.Close()
@@ -404,14 +443,25 @@ func (lj *LiveJob) ScaleOut(n int) error {
 		return err
 	}
 	lj.group = group
+	lj.lastAdjust = lj.clk.Since(start)
 	return nil
 }
 
 // ScaleIn removes the last n workers (survivors keep their state; nothing
 // moves). The total batch size is unchanged.
 func (lj *LiveJob) ScaleIn(n int) error {
+	return lj.ScaleInCtx(context.Background(), n)
+}
+
+// ScaleInCtx is ScaleIn under a caller context; cancellation before the
+// AM accepts the request aborts with no state change.
+func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) error {
 	lj.mu.Lock()
 	defer lj.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: scale-in cancelled: %w", err)
+	}
+	start := lj.clk.Now()
 	oldN := len(lj.workers)
 	if n <= 0 || n >= oldN {
 		return fmt.Errorf("core: scale-in by %d of %d workers", n, oldN)
@@ -440,7 +490,17 @@ func (lj *LiveJob) ScaleIn(n int) error {
 		return err
 	}
 	lj.group = group
+	lj.lastAdjust = lj.clk.Since(start)
 	return nil
+}
+
+// LastAdjustDuration returns how long the most recent successful
+// adjustment took on the job's clock — the quantity behind the paper's
+// sub-second adjustment claim. Zero if no adjustment has completed.
+func (lj *LiveJob) LastAdjustDuration() time.Duration {
+	lj.mu.Lock()
+	defer lj.mu.Unlock()
+	return lj.lastAdjust
 }
 
 // Evaluate computes loss and accuracy of the (replicated) model on the

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/data"
 )
 
@@ -48,6 +52,64 @@ func TestNewLiveJobValidation(t *testing.T) {
 		if _, err := NewLiveJob(cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
+	}
+}
+
+func TestLiveAdjustmentCancelled(t *testing.T) {
+	// A cancelled context must unwind an adjustment before it commits: the
+	// worker set, iteration count and replica invariant are untouched.
+	lj := liveJob(t, 2, 32)
+	for i := 0; i < 5; i++ {
+		if _, err := lj.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := lj.ScaleOutCtx(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScaleOutCtx = %v, want context.Canceled", err)
+	}
+	if err := lj.ScaleInCtx(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScaleInCtx = %v, want context.Canceled", err)
+	}
+	if lj.NumWorkers() != 2 {
+		t.Fatalf("workers = %d after cancelled adjustments, want 2", lj.NumWorkers())
+	}
+	if !lj.ReplicasConsistent() {
+		t.Fatal("replicas inconsistent after cancelled adjustment")
+	}
+	// Training continues as if nothing happened.
+	if _, err := lj.Step(); err != nil {
+		t.Fatalf("Step after cancelled adjustment: %v", err)
+	}
+}
+
+func TestLiveAdjustDurationOnSimClock(t *testing.T) {
+	// With an injected sim clock the adjustment duration is measured in
+	// virtual time; nothing advances the clock here, so it must be zero —
+	// proving the measurement uses the injected clock, not the wall.
+	sim := clock.NewSim(time.Unix(0, 0))
+	lj, err := NewLiveJob(LiveConfig{
+		Dataset:    liveDataset(t, 512),
+		LayerSizes: []int{2, 8, 3},
+		Workers:    2,
+		TotalBatch: 32,
+		LR:         0.05,
+		Seed:       7,
+		Clock:      sim,
+	})
+	if err != nil {
+		t.Fatalf("NewLiveJob: %v", err)
+	}
+	t.Cleanup(lj.Close)
+	if err := lj.ScaleOut(2); err != nil {
+		t.Fatalf("ScaleOut: %v", err)
+	}
+	if got := lj.LastAdjustDuration(); got != 0 {
+		t.Fatalf("LastAdjustDuration = %v on a frozen sim clock, want 0", got)
+	}
+	if lj.NumWorkers() != 4 {
+		t.Fatalf("workers = %d, want 4", lj.NumWorkers())
 	}
 }
 

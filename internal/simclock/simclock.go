@@ -131,6 +131,17 @@ func (c *Clock) Stop() { c.stopped = true }
 // Pending reports the number of events waiting in the queue.
 func (c *Clock) Pending() int { return len(c.queue) }
 
+// Next returns the virtual timestamp of the earliest pending event, or
+// false when the queue is empty. Drivers that advance the clock from
+// outside (the concurrent clock.Sim wrapper) use it to jump straight to
+// the next deadline.
+func (c *Clock) Next() (time.Duration, bool) {
+	if len(c.queue) == 0 {
+		return 0, false
+	}
+	return c.queue[0].At, true
+}
+
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the virtual clock passes deadline (use RunAll for no deadline).
 // It returns ErrStopped when stopped explicitly.

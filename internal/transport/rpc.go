@@ -1,12 +1,16 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
 )
 
 // This file implements the same request/reply protocol over real TCP using
@@ -15,6 +19,21 @@ import (
 // (Section V-A, "Service API") is exposed this way in the integration tests
 // and examples. Clients dial per call, which makes reconnection after a
 // server restart automatic — the property the paper gets from ZeroMQ.
+
+// TCP call defaults, named once and referenced everywhere.
+const (
+	// DefaultCallTimeout covers dial+write+read of one Call when the
+	// caller passes no timeout.
+	DefaultCallTimeout = 2 * time.Second
+	// DefaultRetryAttempts is the attempt budget of an unconfigured
+	// RetryPolicy.
+	DefaultRetryAttempts = 3
+	// DefaultRetryBase is the first backoff delay of an unconfigured
+	// RetryPolicy; subsequent delays double up to DefaultRetryMax.
+	DefaultRetryBase = 10 * time.Millisecond
+	// DefaultRetryMax caps the exponential backoff delay.
+	DefaultRetryMax = 500 * time.Millisecond
+)
 
 type rpcRequest struct {
 	ID      uint64
@@ -134,17 +153,27 @@ func (s *Server) Close() {
 
 // Call performs one request/reply round trip to a Server at addr, dialing a
 // fresh connection (and therefore transparently surviving server restarts
-// between calls). The timeout covers dial, write and read.
-func Call(addr, kind string, payload []byte, timeout time.Duration) ([]byte, error) {
+// between calls). The timeout covers dial, write and read; cancelling ctx
+// aborts the call at any point, including mid-read. TCP I/O deadlines are
+// inherently wall-clock, so Call always stamps them from the wall clock —
+// only the retry backoff (CallRetry) runs on an injectable clock.
+func Call(ctx context.Context, addr, kind string, payload []byte, timeout time.Duration) ([]byte, error) {
 	if timeout <= 0 {
-		timeout = 2 * time.Second
+		timeout = DefaultCallTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer func() { _ = conn.Close() }()
-	deadline := time.Now().Add(timeout)
+	// A cancelled context unblocks in-flight reads by closing the conn.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+	deadline := clock.Wall{}.Now().Add(timeout)
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, fmt.Errorf("transport: set deadline: %w", err)
 	}
@@ -156,6 +185,9 @@ func Call(addr, kind string, payload []byte, timeout time.Duration) ([]byte, err
 	}
 	var resp rpcResponse
 	if err := dec.Decode(&resp); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("transport: decode response: %w", err)
 	}
 	if resp.Err != "" {
@@ -164,19 +196,96 @@ func Call(addr, kind string, payload []byte, timeout time.Duration) ([]byte, err
 	return resp.Payload, nil
 }
 
-// CallRetry is Call with resend-on-timeout semantics: it retries up to
-// attempts times, which rides out a server restart in progress.
-func CallRetry(addr, kind string, payload []byte, timeout time.Duration, attempts int) ([]byte, error) {
-	if attempts <= 0 {
-		attempts = 3
+// RetryPolicy shapes CallRetry's exponential backoff. The zero value is
+// normalized to the package defaults.
+type RetryPolicy struct {
+	// Attempts is the total call budget (first try included).
+	Attempts int
+	// Base is the delay before the second attempt; each later delay
+	// doubles (Base, 2*Base, 4*Base, ...) up to Max.
+	Base time.Duration
+	// Max caps individual delays.
+	Max time.Duration
+	// Seed makes the jitter deterministic. Delays are jittered
+	// multiplicatively in [delay/2, delay) so that retrying peers
+	// de-synchronize without losing reproducibility.
+	Seed int64
+	// Clock is the time source the backoff sleeps on; nil selects the
+	// wall clock. Tests pass a clock.Sim to assert the schedule in
+	// virtual time.
+	Clock clock.Clock
+}
+
+// DefaultRetryPolicy returns the standard reconnect policy.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: DefaultRetryAttempts, Base: DefaultRetryBase, Max: DefaultRetryMax}
+}
+
+// normalized fills zero fields with defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryAttempts
 	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetryBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetryMax
+	}
+	if p.Clock == nil {
+		p.Clock = clock.Wall{}
+	}
+	return p
+}
+
+// Schedule returns the exact backoff delays a CallRetry under this policy
+// sleeps between attempts (length Attempts-1). It is exported so tests and
+// capacity planning can assert the schedule without running calls.
+func (p RetryPolicy) Schedule() []time.Duration {
+	p = p.normalized()
+	rng := rand.New(rand.NewSource(p.Seed))
+	delays := make([]time.Duration, 0, p.Attempts-1)
+	backoff := p.Base
+	for i := 1; i < p.Attempts; i++ {
+		d := backoff
+		if d > p.Max {
+			d = p.Max
+		}
+		// Multiplicative jitter in [d/2, d).
+		if half := d / 2; half > 0 {
+			d = half + time.Duration(rng.Int63n(int64(half)))
+		}
+		delays = append(delays, d)
+		if backoff <= p.Max {
+			backoff *= 2
+		}
+	}
+	return delays
+}
+
+// CallRetry is Call with exponential-backoff resend semantics: it retries
+// up to policy.Attempts times, sleeping the policy's jittered schedule
+// between attempts, which rides out a server restart in progress without
+// hammering the endpoint. Cancelling ctx aborts both in-flight calls and
+// backoff sleeps.
+func CallRetry(ctx context.Context, addr, kind string, payload []byte, timeout time.Duration, policy RetryPolicy) ([]byte, error) {
+	policy = policy.normalized()
+	delays := policy.Schedule()
 	var lastErr error
-	for i := 0; i < attempts; i++ {
-		out, err := Call(addr, kind, payload, timeout)
+	for i := 0; i < policy.Attempts; i++ {
+		if i > 0 {
+			if err := policy.Clock.Sleep(ctx, delays[i-1]); err != nil {
+				return nil, fmt.Errorf("transport: retry cancelled after %d attempts: %w", i, err)
+			}
+		}
+		out, err := Call(ctx, addr, kind, payload, timeout)
 		if err == nil {
 			return out, nil
 		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("transport: %d attempts failed: %w", attempts, lastErr)
+	return nil, fmt.Errorf("transport: %d attempts failed: %w", policy.Attempts, lastErr)
 }

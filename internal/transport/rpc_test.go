@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+)
+
+func TestRetryScheduleDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 6, Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 99}
+	a, b := p.Schedule(), p.Schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	p.Seed = 100
+	if reflect.DeepEqual(a, p.Schedule()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRetryScheduleBounds(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 1}
+	delays := p.Schedule()
+	if len(delays) != p.Attempts-1 {
+		t.Fatalf("schedule length %d, want %d", len(delays), p.Attempts-1)
+	}
+	raw := p.Base
+	for i, d := range delays {
+		cap := raw
+		if cap > p.Max {
+			cap = p.Max
+		}
+		// Jitter keeps each delay in [cap/2, cap).
+		if d < cap/2 || d >= cap {
+			t.Fatalf("delay %d = %v outside [%v, %v)", i, d, cap/2, cap)
+		}
+		if raw <= p.Max {
+			raw *= 2
+		}
+	}
+}
+
+func TestRetryScheduleZeroValueNormalized(t *testing.T) {
+	delays := RetryPolicy{}.Schedule()
+	if len(delays) != DefaultRetryAttempts-1 {
+		t.Fatalf("zero policy schedule length %d, want %d", len(delays), DefaultRetryAttempts-1)
+	}
+	for i, d := range delays {
+		if d <= 0 || d > DefaultRetryMax {
+			t.Fatalf("delay %d = %v out of range", i, d)
+		}
+	}
+}
+
+func TestCallRetryFollowsScheduleOnSimClock(t *testing.T) {
+	// Dial a dead address so every attempt fails immediately; the only time
+	// that passes on the sim clock is the backoff itself, so virtual elapsed
+	// must equal the schedule sum exactly.
+	sim := clock.NewSim(time.Unix(0, 0))
+	stop := sim.AutoAdvance(0)
+	defer stop()
+	policy := RetryPolicy{
+		Attempts: 5,
+		Base:     100 * time.Millisecond,
+		Max:      time.Second,
+		Seed:     7,
+		Clock:    sim,
+	}
+	var want time.Duration
+	for _, d := range policy.Schedule() {
+		want += d
+	}
+	start := time.Now()
+	_, err := CallRetry(context.Background(), "127.0.0.1:1", "x", nil, 100*time.Millisecond, policy)
+	if err == nil {
+		t.Fatal("CallRetry to dead address succeeded")
+	}
+	if got := sim.Elapsed(); got != want {
+		t.Fatalf("virtual backoff elapsed %v, want schedule sum %v", got, want)
+	}
+	// Sub-second wall time even though the virtual schedule is ~900ms+:
+	// generous bound to absorb slow dial failures on loaded machines.
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("sim-clock backoff burned %v of wall time", wall)
+	}
+}
+
+func TestCallRetryCancelDuringBackoff(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	// No auto-advance: the first backoff sleep can only end via ctx.
+	policy := RetryPolicy{Attempts: 3, Base: time.Hour, Clock: sim}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := CallRetry(ctx, "127.0.0.1:1", "x", nil, 100*time.Millisecond, policy)
+		done <- err
+	}()
+	// Wait for the sleeper to register, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for sim.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("backoff sleep never registered on sim clock")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled CallRetry returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled CallRetry never returned")
+	}
+}

@@ -9,11 +9,14 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
 )
 
 // Errors returned by the transport layer.
@@ -21,6 +24,16 @@ var (
 	ErrNoEndpoint = errors.New("transport: no such endpoint")
 	ErrTimeout    = errors.New("transport: send timed out after all retries")
 	ErrClosed     = errors.New("transport: endpoint closed")
+)
+
+// Package-level defaults, referenced everywhere a config value is missing
+// so the numbers exist in exactly one place.
+const (
+	// DefaultAckTimeout is how long a sender waits for an ack before
+	// resending when BusConfig.AckTimeout is unset.
+	DefaultAckTimeout = 20 * time.Millisecond
+	// DefaultMaxRetries bounds resends when BusConfig.MaxRetries is unset.
+	DefaultMaxRetries = 10
 )
 
 // Message is the unit of communication. Payloads are opaque bytes; Kind
@@ -49,19 +62,31 @@ type BusConfig struct {
 	MaxRetries int
 	// Seed makes drop decisions deterministic.
 	Seed int64
+	// Clock is the time source for ack timeouts and latency injection.
+	// Nil selects the wall clock; tests inject a clock.Sim so the whole
+	// resend protocol runs on instant virtual time.
+	Clock clock.Clock
 }
 
 // DefaultBusConfig returns a lossless, low-latency configuration.
 func DefaultBusConfig() BusConfig {
 	return BusConfig{
-		AckTimeout: 20 * time.Millisecond,
-		MaxRetries: 10,
+		AckTimeout: DefaultAckTimeout,
+		MaxRetries: DefaultMaxRetries,
 	}
 }
 
 // Bus is an in-process message fabric connecting named endpoints.
 type Bus struct {
 	cfg BusConfig
+	clk clock.Clock
+
+	// ctx is the bus lifecycle: Close cancels it, aborting in-flight
+	// latency sleeps and pending calls. wg tracks delivery goroutines so
+	// Close can prove they all exited.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -71,10 +96,10 @@ type Bus struct {
 // NewBus constructs a bus. Invalid config values are normalized.
 func NewBus(cfg BusConfig) *Bus {
 	if cfg.AckTimeout <= 0 {
-		cfg.AckTimeout = 20 * time.Millisecond
+		cfg.AckTimeout = DefaultAckTimeout
 	}
 	if cfg.MaxRetries <= 0 {
-		cfg.MaxRetries = 10
+		cfg.MaxRetries = DefaultMaxRetries
 	}
 	if cfg.DropRate < 0 {
 		cfg.DropRate = 0
@@ -82,11 +107,39 @@ func NewBus(cfg BusConfig) *Bus {
 	if cfg.DropRate > 0.95 {
 		cfg.DropRate = 0.95
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Bus{
 		cfg:       cfg,
+		clk:       cfg.Clock,
+		ctx:       ctx,
+		cancel:    cancel,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		endpoints: make(map[string]*Endpoint),
 	}
+}
+
+// Clock returns the bus's time source.
+func (b *Bus) Clock() clock.Clock { return b.clk }
+
+// Close shuts the bus down: every endpoint is closed, in-flight deliveries
+// are aborted, and Close blocks until all delivery goroutines have exited
+// — after Close returns the bus owns no goroutines. Closing twice is safe.
+func (b *Bus) Close() {
+	b.cancel()
+	b.mu.Lock()
+	eps := make([]*Endpoint, 0, len(b.endpoints))
+	for _, ep := range b.endpoints {
+		eps = append(eps, ep)
+	}
+	b.endpoints = make(map[string]*Endpoint)
+	b.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+	b.wg.Wait()
 }
 
 // Endpoint creates (or returns) the endpoint with the given name and sets
@@ -190,10 +243,21 @@ func (e *Endpoint) allocID() uint64 {
 // timeout and deduplicating at the receiver. It is the reliable RPC used for
 // AM<->worker coordination.
 func (e *Endpoint) Call(to, kind string, payload []byte) ([]byte, error) {
+	return e.CallCtx(context.Background(), to, kind, payload)
+}
+
+// CallCtx is Call under a caller-supplied context: cancellation aborts the
+// resend loop immediately with ctx.Err(), independent of the ack timeout.
+func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte) ([]byte, error) {
 	select {
 	case <-e.closed:
 		return nil, ErrClosed
+	case <-e.bus.ctx.Done():
+		return nil, ErrClosed
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	msg := Message{
 		ID:      e.allocID(),
@@ -212,23 +276,34 @@ func (e *Endpoint) Call(to, kind string, payload []byte) ([]byte, error) {
 		e.mu.Unlock()
 	}()
 
+	timer := e.bus.clk.NewTimer(e.bus.cfg.AckTimeout)
+	defer timer.Stop()
 	for attempt := 0; attempt < e.bus.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			// Only reached after draining the previous expiry, so Reset is
+			// safe under the time.Timer contract.
+			timer.Reset(e.bus.cfg.AckTimeout)
+		}
 		e.deliver(msg)
 		select {
 		case r := <-ch:
 			return r.payload, r.err
-		case <-time.After(e.bus.cfg.AckTimeout):
+		case <-timer.C():
 			// resend (timeout: either the message or its reply was dropped)
 		case <-e.closed:
 			return nil, ErrClosed
+		case <-e.bus.ctx.Done():
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 	return nil, fmt.Errorf("%w (to=%s kind=%s id=%d)", ErrTimeout, to, kind, msg.ID)
 }
 
 // deliver attempts one delivery of msg (possibly dropped). The receiver's
-// handler runs on a fresh goroutine; its reply is routed back to the pending
-// Call, also subject to drops.
+// handler runs on a fresh bus-tracked goroutine; its reply is routed back
+// to the pending Call, also subject to drops.
 func (e *Endpoint) deliver(msg Message) {
 	if e.bus.shouldDrop() {
 		return
@@ -240,16 +315,22 @@ func (e *Endpoint) deliver(msg Message) {
 		e.routeReply(msg.ID, reply{err: fmt.Errorf("%w: %s", ErrNoEndpoint, msg.To)})
 		return
 	}
+	e.bus.wg.Add(1)
 	go func() {
+		defer e.bus.wg.Done()
 		if e.bus.cfg.Latency > 0 {
-			time.Sleep(e.bus.cfg.Latency)
+			if e.bus.clk.Sleep(e.bus.ctx, e.bus.cfg.Latency) != nil {
+				return // bus closed mid-flight
+			}
 		}
 		payload, err := dst.handle(msg)
 		if e.bus.shouldDrop() {
 			return // the reply got lost; sender will resend
 		}
 		if e.bus.cfg.Latency > 0 {
-			time.Sleep(e.bus.cfg.Latency)
+			if e.bus.clk.Sleep(e.bus.ctx, e.bus.cfg.Latency) != nil {
+				return
+			}
 		}
 		e.routeReply(msg.ID, reply{payload: payload, err: err})
 	}()

@@ -1,16 +1,58 @@
 package transport
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
 )
 
+// guardGoroutines fails the test if goroutines outlive the test's cleanup
+// stack (bus shutdown must stop every delivery goroutine). Register it
+// FIRST so it runs after all other cleanups.
+func guardGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// simBus builds a bus on auto-advanced virtual time: ack timeouts and
+// latency cost microseconds of wall time instead of their face value.
+func simBus(t *testing.T, cfg BusConfig) (*Bus, *clock.Sim) {
+	t.Helper()
+	guardGoroutines(t)
+	sim := clock.NewSim(time.Unix(0, 0))
+	stop := sim.AutoAdvance(0)
+	t.Cleanup(stop)
+	cfg.Clock = sim
+	bus := NewBus(cfg)
+	t.Cleanup(bus.Close)
+	return bus, sim
+}
+
 func TestCallBasic(t *testing.T) {
-	bus := NewBus(DefaultBusConfig())
+	bus, _ := simBus(t, DefaultBusConfig())
 	_, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
 		return []byte("pong:" + string(m.Payload)), nil
 	})
@@ -31,7 +73,7 @@ func TestCallBasic(t *testing.T) {
 }
 
 func TestCallUnknownEndpoint(t *testing.T) {
-	bus := NewBus(DefaultBusConfig())
+	bus, _ := simBus(t, DefaultBusConfig())
 	client, err := bus.Endpoint("client", nil)
 	if err != nil {
 		t.Fatalf("Endpoint: %v", err)
@@ -43,14 +85,14 @@ func TestCallUnknownEndpoint(t *testing.T) {
 }
 
 func TestEmptyEndpointName(t *testing.T) {
-	bus := NewBus(DefaultBusConfig())
+	bus, _ := simBus(t, DefaultBusConfig())
 	if _, err := bus.Endpoint("", nil); err == nil {
 		t.Fatal("empty name accepted")
 	}
 }
 
 func TestHandlerError(t *testing.T) {
-	bus := NewBus(DefaultBusConfig())
+	bus, _ := simBus(t, DefaultBusConfig())
 	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
 		return nil, errors.New("boom")
 	}); err != nil {
@@ -69,7 +111,7 @@ func TestResendSurvivesDrops(t *testing.T) {
 	cfg.Seed = 42
 	cfg.AckTimeout = 5 * time.Millisecond
 	cfg.MaxRetries = 50
-	bus := NewBus(cfg)
+	bus, _ := simBus(t, cfg)
 	var handled atomic.Int64
 	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
 		handled.Add(1)
@@ -93,19 +135,39 @@ func TestResendSurvivesDrops(t *testing.T) {
 	}
 }
 
+func TestResendOnSimLatency(t *testing.T) {
+	// Latency injection also runs on virtual time: a 50 ms round trip
+	// costs no real sleeping.
+	cfg := DefaultBusConfig()
+	cfg.Latency = 25 * time.Millisecond
+	cfg.AckTimeout = 200 * time.Millisecond
+	bus, sim := simBus(t, cfg)
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		return m.Payload, nil
+	}); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	start := time.Now()
+	if _, err := client.Call("server", "echo", []byte("x")); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("simulated latency cost %v of wall time", wall)
+	}
+	if sim.Elapsed() < 50*time.Millisecond {
+		t.Fatalf("virtual time advanced only %v, want >= 50ms", sim.Elapsed())
+	}
+}
+
 func TestDedupReturnsCachedReply(t *testing.T) {
 	// Force the first reply to be dropped and verify the resent request
 	// gets the original handler result, not an empty ack.
 	cfg := DefaultBusConfig()
 	cfg.AckTimeout = 5 * time.Millisecond
 	cfg.MaxRetries = 20
-	bus := NewBus(cfg)
+	bus, _ := simBus(t, cfg)
 	var calls atomic.Int64
-	srv, err := bus.Endpoint("server", nil)
-	if err != nil {
-		t.Fatalf("Endpoint: %v", err)
-	}
-	_ = srv
 	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
 		calls.Add(1)
 		return []byte("result"), nil
@@ -136,7 +198,7 @@ func TestTimeoutAfterRetries(t *testing.T) {
 	cfg.Seed = 7
 	cfg.AckTimeout = time.Millisecond
 	cfg.MaxRetries = 3
-	bus := NewBus(cfg)
+	bus, _ := simBus(t, cfg)
 	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) { return nil, nil }); err != nil {
 		t.Fatalf("Endpoint: %v", err)
 	}
@@ -153,8 +215,75 @@ func TestTimeoutAfterRetries(t *testing.T) {
 	}
 }
 
+func TestCallCtxCancelled(t *testing.T) {
+	// A cancelled context aborts the resend loop immediately even though
+	// the destination never answers.
+	cfg := DefaultBusConfig()
+	cfg.AckTimeout = time.Hour // would block forever on the ack path
+	bus, _ := simBus(t, cfg)
+	// Handler blocks until the test ends.
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.CallCtx(ctx, "server", "x", nil)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("CallCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled CallCtx never returned")
+	}
+}
+
+func TestBusCloseAbortsCalls(t *testing.T) {
+	guardGoroutines(t)
+	cfg := DefaultBusConfig()
+	cfg.AckTimeout = time.Hour
+	cfg.Latency = time.Hour // delivery goroutine parks in a latency sleep
+	sim := clock.NewSim(time.Unix(0, 0))
+	cfg.Clock = sim
+	bus := NewBus(cfg)
+	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatalf("Endpoint: %v", err)
+	}
+	client, _ := bus.Endpoint("client", nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Call("server", "x", nil)
+		done <- err
+	}()
+	// Close must abort both the latency-sleeping delivery goroutine and
+	// the pending call — with no driver ever advancing virtual time.
+	time.Sleep(10 * time.Millisecond) // let the call start
+	bus.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Call after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call survived bus Close")
+	}
+	if _, err := client.Call("server", "x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call on closed bus = %v, want ErrClosed", err)
+	}
+}
+
 func TestRemoveClosesEndpoint(t *testing.T) {
-	bus := NewBus(DefaultBusConfig())
+	bus, _ := simBus(t, DefaultBusConfig())
 	ep, err := bus.Endpoint("worker", func(m Message) ([]byte, error) { return nil, nil })
 	if err != nil {
 		t.Fatalf("Endpoint: %v", err)
@@ -170,7 +299,7 @@ func TestRemoveClosesEndpoint(t *testing.T) {
 }
 
 func TestConcurrentCalls(t *testing.T) {
-	bus := NewBus(DefaultBusConfig())
+	bus, _ := simBus(t, DefaultBusConfig())
 	if _, err := bus.Endpoint("server", func(m Message) ([]byte, error) {
 		return m.Payload, nil
 	}); err != nil {
@@ -205,6 +334,7 @@ func TestConcurrentCalls(t *testing.T) {
 }
 
 func TestTCPServerRoundTrip(t *testing.T) {
+	guardGoroutines(t)
 	srv := NewServer(func(m Message) ([]byte, error) {
 		if m.Kind == "fail" {
 			return nil, errors.New("requested failure")
@@ -216,14 +346,15 @@ func TestTCPServerRoundTrip(t *testing.T) {
 		t.Fatalf("Listen: %v", err)
 	}
 	defer srv.Close()
-	out, err := Call(addr, "test", []byte("payload"), time.Second)
+	ctx := context.Background()
+	out, err := Call(ctx, addr, "test", []byte("payload"), time.Second)
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if string(out) != "ok:payload" {
 		t.Fatalf("reply = %q", out)
 	}
-	if _, err := Call(addr, "fail", nil, time.Second); err == nil || !strings.Contains(err.Error(), "requested failure") {
+	if _, err := Call(ctx, addr, "fail", nil, time.Second); err == nil || !strings.Contains(err.Error(), "requested failure") {
 		t.Fatalf("error not propagated: %v", err)
 	}
 }
@@ -231,18 +362,19 @@ func TestTCPServerRoundTrip(t *testing.T) {
 func TestTCPReconnectAfterRestart(t *testing.T) {
 	// The paper's ZeroMQ reconnect property: a client retries through a
 	// server restart.
+	ctx := context.Background()
 	handler := func(m Message) ([]byte, error) { return []byte("alive"), nil }
 	srv1 := NewServer(handler)
 	addr, err := srv1.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
-	if _, err := Call(addr, "ping", nil, time.Second); err != nil {
+	if _, err := Call(ctx, addr, "ping", nil, time.Second); err != nil {
 		t.Fatalf("first Call: %v", err)
 	}
 	srv1.Close()
 	// Server gone: plain Call fails.
-	if _, err := Call(addr, "ping", nil, 100*time.Millisecond); err == nil {
+	if _, err := Call(ctx, addr, "ping", nil, 100*time.Millisecond); err == nil {
 		t.Fatal("Call succeeded against closed server")
 	}
 	// Restart on the same port.
@@ -251,7 +383,8 @@ func TestTCPReconnectAfterRestart(t *testing.T) {
 		t.Fatalf("re-Listen: %v", err)
 	}
 	defer srv2.Close()
-	out, err := CallRetry(addr, "ping", nil, 200*time.Millisecond, 5)
+	policy := RetryPolicy{Attempts: 5, Base: time.Millisecond, Max: 10 * time.Millisecond}
+	out, err := CallRetry(ctx, addr, "ping", nil, 200*time.Millisecond, policy)
 	if err != nil {
 		t.Fatalf("CallRetry after restart: %v", err)
 	}
@@ -261,8 +394,13 @@ func TestTCPReconnectAfterRestart(t *testing.T) {
 }
 
 func TestCallRetryExhausts(t *testing.T) {
-	// Dial a port that nothing listens on.
-	if _, err := CallRetry("127.0.0.1:1", "x", nil, 50*time.Millisecond, 2); err == nil {
+	// Dial a port that nothing listens on; backoff runs on the sim clock
+	// so exhaustion is instant in wall time.
+	sim := clock.NewSim(time.Unix(0, 0))
+	stop := sim.AutoAdvance(0)
+	defer stop()
+	policy := RetryPolicy{Attempts: 2, Base: 50 * time.Millisecond, Clock: sim}
+	if _, err := CallRetry(context.Background(), "127.0.0.1:1", "x", nil, 50*time.Millisecond, policy); err == nil {
 		t.Fatal("CallRetry to dead address succeeded")
 	}
 }

@@ -14,16 +14,28 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/collective"
 	"github.com/elan-sys/elan/internal/coord"
 	"github.com/elan-sys/elan/internal/data"
 	"github.com/elan-sys/elan/internal/nn"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/transport"
+)
+
+// Liveness-monitoring defaults (overridable via FleetConfig).
+const (
+	// DefaultHeartbeatTTL is how long an agent may go without completing
+	// a step before the monitor reports it dead.
+	DefaultHeartbeatTTL = 500 * time.Millisecond
+	// DefaultMonitorInterval is how often the liveness monitor checks.
+	DefaultMonitorInterval = 50 * time.Millisecond
 )
 
 // command is one mailbox message to an agent.
@@ -174,8 +186,17 @@ type FleetConfig struct {
 	Momentum   float64
 	Seed       int64
 	// Bus carries coordination traffic; a lossless default is created when
-	// nil (tests inject lossy buses).
+	// nil (tests inject lossy buses). A fleet-created bus is closed by
+	// Close; an injected one is left to its owner.
 	Bus *transport.Bus
+	// Clock is the time source for liveness monitoring; nil selects the
+	// wall clock. When the fleet creates its own bus the bus shares this
+	// clock.
+	Clock clock.Clock
+	// HeartbeatTTL and MonitorInterval tune the liveness monitor started
+	// by Start; zero values select the defaults.
+	HeartbeatTTL    time.Duration
+	MonitorInterval time.Duration
 }
 
 // Fleet is the controller plus its resident agents.
@@ -183,6 +204,7 @@ type Fleet struct {
 	mu sync.Mutex
 
 	cfg    FleetConfig
+	clk    clock.Clock
 	agents []*Agent
 	group  *collective.Group
 	loader *data.SerialLoader
@@ -202,6 +224,22 @@ type Fleet struct {
 	lrRampTo    float64
 	lrRampStart int
 	lrRampLen   int
+
+	// Lifecycle. ctx bounds every goroutine the fleet owns (report
+	// clients, the liveness monitor); Close cancels it and waits for wg,
+	// so after Close no fleet goroutine survives.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	ownsBus bool
+	started bool
+	closed  bool
+
+	// Liveness: agents beat on every completed step; the monitor records
+	// the ones whose beats lapse.
+	hb     *coord.HeartbeatMonitor
+	deadMu sync.Mutex
+	dead   map[string]bool
 }
 
 // NewFleet builds the fleet, the AM and its service, and starts the initial
@@ -217,34 +255,59 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		return nil, fmt.Errorf("worker: total batch %d not divisible by %d workers",
 			cfg.TotalBatch, cfg.Workers)
 	}
-	if cfg.Bus == nil {
-		cfg.Bus = transport.NewBus(transport.DefaultBusConfig())
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
 	}
+	if cfg.HeartbeatTTL <= 0 {
+		cfg.HeartbeatTTL = DefaultHeartbeatTTL
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = DefaultMonitorInterval
+	}
+	ownsBus := cfg.Bus == nil
+	if ownsBus {
+		busCfg := transport.DefaultBusConfig()
+		busCfg.Clock = cfg.Clock
+		cfg.Bus = transport.NewBus(busCfg)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	am, err := coord.NewAM("fleet", store.New())
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	if _, err := coord.NewService(am, cfg.Bus, "fleet-am"); err != nil {
+	if _, err := coord.NewServiceCtx(ctx, am, cfg.Bus, "fleet-am"); err != nil {
+		cancel()
 		return nil, err
 	}
-	coordinator, err := coord.NewClient(cfg.Bus, "fleet-lead", "fleet-am")
+	coordinator, err := coord.NewClientCtx(ctx, cfg.Bus, "fleet-lead", "fleet-am")
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	sched, err := coord.NewClient(cfg.Bus, "fleet-sched", "fleet-am")
+	sched, err := coord.NewClientCtx(ctx, cfg.Bus, "fleet-sched", "fleet-am")
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	loader, err := data.NewSerialLoader(cfg.Dataset.N())
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	group, err := collective.NewGroup(cfg.Workers)
 	if err != nil {
+		cancel()
+		return nil, err
+	}
+	hb, err := coord.NewHeartbeatMonitor(cfg.Clock)
+	if err != nil {
+		cancel()
 		return nil, err
 	}
 	f := &Fleet{
 		cfg:         cfg,
+		clk:         cfg.Clock,
 		group:       group,
 		loader:      loader,
 		am:          am,
@@ -252,6 +315,11 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		sched:       sched,
 		spawned:     make(map[string]*Agent),
 		lr:          cfg.LR,
+		ctx:         ctx,
+		cancel:      cancel,
+		ownsBus:     ownsBus,
+		hb:          hb,
+		dead:        make(map[string]bool),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		a, err := f.spawnAgent()
@@ -260,8 +328,68 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			return nil, err
 		}
 		f.agents = append(f.agents, a)
+		f.hb.Beat(a.Name)
 	}
 	return f, nil
+}
+
+// Start ties the fleet's lifetime to ctx — when ctx is cancelled the fleet
+// closes — and launches the liveness monitor: agents heartbeat on every
+// completed step, and agents whose beats lapse past HeartbeatTTL are
+// recorded (DeadWorkers) for the scheduler to replace, the failure-
+// mitigation loop of Section VII. Start may be called at most once.
+func (f *Fleet) Start(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("worker: fleet closed")
+	}
+	if f.started {
+		return fmt.Errorf("worker: fleet already started")
+	}
+	f.started = true
+	if ctx != nil && ctx.Done() != nil {
+		context.AfterFunc(ctx, f.Close)
+	}
+	f.wg.Add(1)
+	go f.monitorLoop()
+	return nil
+}
+
+// monitorLoop periodically sweeps the heartbeat monitor on the fleet's
+// clock. It exits when Close cancels the fleet context.
+func (f *Fleet) monitorLoop() {
+	defer f.wg.Done()
+	tick := f.clk.NewTicker(f.cfg.MonitorInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-tick.C():
+			expired := f.hb.Expired(f.cfg.HeartbeatTTL)
+			if len(expired) == 0 {
+				continue
+			}
+			f.deadMu.Lock()
+			for _, w := range expired {
+				f.dead[w] = true
+			}
+			f.deadMu.Unlock()
+		}
+	}
+}
+
+// DeadWorkers returns the agents the liveness monitor has declared dead
+// (sorted insertion is not guaranteed; callers sort if needed).
+func (f *Fleet) DeadWorkers() []string {
+	f.deadMu.Lock()
+	defer f.deadMu.Unlock()
+	out := make([]string, 0, len(f.dead))
+	for w := range f.dead {
+		out = append(out, w)
+	}
+	return out
 }
 
 func (f *Fleet) spawnAgent() (*Agent, error) {
@@ -318,9 +446,12 @@ func (f *Fleet) RequestScaleOut(n int) error {
 		f.spawned[a.Name] = a
 		// The agent "starts and initializes" in the background and then
 		// reports. Construction already happened; the report goes over the
-		// bus like a real worker's would.
+		// bus like a real worker's would. The goroutine is fleet-tracked
+		// and its call aborts when the fleet closes.
+		f.wg.Add(1)
 		go func(name string) {
-			cl, err := coord.NewClient(f.cfg.Bus, name, "fleet-am")
+			defer f.wg.Done()
+			cl, err := coord.NewClientCtx(f.ctx, f.cfg.Bus, name, "fleet-am")
 			if err != nil {
 				return
 			}
@@ -401,6 +532,11 @@ func (f *Fleet) Step() (float64, error) {
 		}
 		loss += r.loss
 	}
+	// Every agent that completed the iteration is alive: piggyback the
+	// heartbeat on the step, as the paper's workers do on coordination.
+	for _, a := range f.agents {
+		f.hb.Beat(a.Name)
+	}
 	f.iter++
 	return loss / float64(n), nil
 }
@@ -436,6 +572,7 @@ func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
 		for _, a := range f.agents {
 			if leaving[a.Name] {
 				a.stop()
+				f.hb.Forget(a.Name) // left deliberately, not dead
 			} else {
 				stay = append(stay, a)
 			}
@@ -544,10 +681,20 @@ func (f *Fleet) ReplicasConsistent() bool {
 	return true
 }
 
-// Close stops all agents (including spawned-but-unadmitted ones).
+// Close stops all agents (including spawned-but-unadmitted ones), the
+// liveness monitor and any in-flight report goroutines, then waits for all
+// of them to exit — after Close returns the fleet owns no goroutines. A
+// fleet-created bus is closed too; an injected bus is left to its owner.
+// Close is idempotent and safe to call concurrently with ctx cancellation.
 func (f *Fleet) Close() {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	// Cancel first so report clients and the monitor unblock.
+	f.cancel()
 	for _, a := range f.agents {
 		a.stop()
 	}
@@ -558,5 +705,10 @@ func (f *Fleet) Close() {
 	f.spawned = nil
 	if f.group != nil {
 		f.group.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	if f.ownsBus {
+		f.cfg.Bus.Close()
 	}
 }

@@ -1,12 +1,40 @@
 package worker
 
 import (
+	"context"
+	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/data"
 	"github.com/elan-sys/elan/internal/transport"
 )
+
+// guardGoroutines fails the test if goroutines outlive Fleet.Close (and the
+// rest of the cleanup stack). Register before creating fleets or buses.
+func guardGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
 
 func dataset(t *testing.T, n int) *data.Dataset {
 	t.Helper()
@@ -19,6 +47,7 @@ func dataset(t *testing.T, n int) *data.Dataset {
 
 func fleet(t *testing.T, workers, tbs int, bus *transport.Bus) *Fleet {
 	t.Helper()
+	guardGoroutines(t)
 	f, err := NewFleet(FleetConfig{
 		Dataset:    dataset(t, 1024),
 		LayerSizes: []int{4, 16, 3},
@@ -153,12 +182,19 @@ func TestFleetScaleRequestsValidated(t *testing.T) {
 }
 
 func TestFleetSurvivesLossyBus(t *testing.T) {
+	guardGoroutines(t)
+	// The lossy bus runs on virtual time: the resend protocol's ack
+	// timeouts cost nothing in wall time.
+	sim := clock.NewSim(time.Unix(0, 0))
+	t.Cleanup(sim.AutoAdvance(0))
 	cfg := transport.DefaultBusConfig()
 	cfg.DropRate = 0.3
 	cfg.Seed = 5
 	cfg.AckTimeout = 4 * time.Millisecond
 	cfg.MaxRetries = 100
+	cfg.Clock = sim
 	bus := transport.NewBus(cfg)
+	t.Cleanup(bus.Close)
 	f := fleet(t, 2, 32, bus)
 	if err := f.RequestScaleOut(2); err != nil {
 		t.Fatalf("RequestScaleOut under loss: %v", err)
@@ -174,6 +210,79 @@ func TestFleetSurvivesLossyBus(t *testing.T) {
 	}
 	if !f.ReplicasConsistent() {
 		t.Fatal("replicas inconsistent")
+	}
+}
+
+func TestFleetStartLifecycle(t *testing.T) {
+	f := fleet(t, 2, 32, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := f.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := f.Start(ctx); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	if _, err := f.Step(); err != nil {
+		t.Fatalf("Step after Start: %v", err)
+	}
+	// Cancelling the parent context closes the fleet (asynchronously, via
+	// context.AfterFunc).
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := f.Start(context.Background())
+		if err != nil && strings.Contains(err.Error(), "closed") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never closed after ctx cancel; Start = %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Close() // idempotent
+}
+
+func TestFleetLivenessDetectsSilentWorkers(t *testing.T) {
+	guardGoroutines(t)
+	// Everything — bus, heartbeats, monitor ticker — runs on one sim clock;
+	// a 200ms TTL expires in microseconds of wall time.
+	sim := clock.NewSim(time.Unix(0, 0))
+	t.Cleanup(sim.AutoAdvance(0))
+	f, err := NewFleet(FleetConfig{
+		Dataset:         dataset(t, 256),
+		LayerSizes:      []int{4, 8, 3},
+		Workers:         2,
+		TotalBatch:      16,
+		LR:              0.05,
+		Seed:            21,
+		Clock:           sim,
+		HeartbeatTTL:    200 * time.Millisecond,
+		MonitorInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(f.Close)
+	if err := f.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if got := f.DeadWorkers(); len(got) != 0 {
+		t.Fatalf("fresh fleet has dead workers: %v", got)
+	}
+	// No Steps happen, so no heartbeats: the monitor must declare every
+	// agent dead once virtual time passes the TTL.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.DeadWorkers()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never flagged silent workers; dead = %v", f.DeadWorkers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dead := f.DeadWorkers()
+	sort.Strings(dead)
+	if dead[0] != "agent-0" || dead[1] != "agent-1" {
+		t.Fatalf("dead = %v, want [agent-0 agent-1]", dead)
 	}
 }
 
