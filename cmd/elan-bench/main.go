@@ -2,10 +2,11 @@
 //
 // Usage:
 //
-//	elan-bench -exp fig15          # one experiment
-//	elan-bench -exp all            # the full evaluation
-//	elan-bench -list               # list experiment ids
-//	elan-bench -exp fig20 -quick   # short trace for a fast run
+//	elan-bench -exp fig15                  # one experiment
+//	elan-bench -exp all                    # the full evaluation
+//	elan-bench -list                       # list experiment ids
+//	elan-bench -exp fig20 -quick           # short trace for a fast run
+//	elan-bench -adjust-trace adjust.json   # trace one scaling adjustment
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	elan "github.com/elan-sys/elan"
 	"github.com/elan-sys/elan/internal/experiment"
 )
 
@@ -22,11 +24,75 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	adjTrace := flag.String("adjust-trace", "",
+		"write a Chrome trace-event JSON file of one live scale-out adjustment and exit")
 	flag.Parse()
+	if *adjTrace != "" {
+		if err := writeAdjustTrace(*adjTrace, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *list, *quick, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "elan-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeAdjustTrace records the paper's Fig. 11 story as a trace: a live job
+// trains a few iterations, scales out 2→4, and trains a few more. The
+// resulting JSON shows the adjustment span with its build/replicate/
+// reconfigure children and the commit-point event, next to the step spans
+// it interrupts.
+func writeAdjustTrace(path string, w io.Writer) error {
+	rec := elan.NewTraceRecorder(nil, 0)
+	const features, classes = 16, 8
+	train, err := elan.GenDataset(11, 4096, features, classes)
+	if err != nil {
+		return err
+	}
+	job, err := elan.NewLiveJob(elan.LiveConfig{
+		Dataset:    train,
+		LayerSizes: []int{features, 32, classes},
+		Workers:    2,
+		TotalBatch: 64,
+		LR:         0.02,
+		Momentum:   0.9,
+		Seed:       11,
+		Tracer:     rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer job.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := job.Step(); err != nil {
+			return err
+		}
+	}
+	if err := job.ScaleOut(2); err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := job.Step(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := elan.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "adjustment took %v; wrote %d spans to %s — open in ui.perfetto.dev\n",
+		job.LastAdjustDuration(), rec.Len(), path)
+	return nil
 }
 
 func run(exp string, list, quick bool, w io.Writer) error {

@@ -73,48 +73,85 @@ func parseSchedule(s string) ([]action, error) {
 	return out, nil
 }
 
+// options bundles the run parameters.
+type options struct {
+	workers   int
+	tbs       int
+	iters     int
+	lr        float64
+	seed      int64
+	schedule  string
+	traceOut  string // Chrome trace-event JSON output path ("" = off)
+	debugAddr string // /metrics + /healthz listen address ("" = off)
+}
+
 func main() {
-	var (
-		workers  = flag.Int("workers", 2, "initial worker count")
-		tbs      = flag.Int("tbs", 64, "initial total batch size")
-		iters    = flag.Int("iters", 600, "training iterations")
-		lr       = flag.Float64("lr", 0.02, "initial learning rate")
-		seed     = flag.Int64("seed", 7, "run seed")
-		schedule = flag.String("schedule", "", "adjustments, e.g. 200:out2,400:batch128")
-	)
+	var opts options
+	flag.IntVar(&opts.workers, "workers", 2, "initial worker count")
+	flag.IntVar(&opts.tbs, "tbs", 64, "initial total batch size")
+	flag.IntVar(&opts.iters, "iters", 600, "training iterations")
+	flag.Float64Var(&opts.lr, "lr", 0.02, "initial learning rate")
+	flag.Int64Var(&opts.seed, "seed", 7, "run seed")
+	flag.StringVar(&opts.schedule, "schedule", "", "adjustments, e.g. 200:out2,400:batch128")
+	flag.StringVar(&opts.traceOut, "trace-out", "",
+		"write a Chrome trace-event JSON file (load in Perfetto) covering the run")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "",
+		"serve /metrics (Prometheus text) and /healthz on this address, e.g. localhost:9090")
 	flag.Parse()
 	// Ctrl-C cancels the run context: an adjustment in flight unwinds
 	// cleanly instead of being killed halfway.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Stdout, *workers, *tbs, *iters, *lr, *seed, *schedule); err != nil {
+	if err := run(ctx, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "elan-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, w io.Writer, workers, tbs, iters int, lr float64, seed int64, schedule string) error {
-	actions, err := parseSchedule(schedule)
+func run(ctx context.Context, w io.Writer, opts options) error {
+	actions, err := parseSchedule(opts.schedule)
 	if err != nil {
 		return err
+	}
+	// Telemetry is optional: when neither flag asks for it the tracer stays
+	// Nop and the instruments stay nil, so the training path is unchanged.
+	var (
+		rec    *elan.TraceRecorder
+		reg    *elan.MetricsRegistry
+		tracer elan.Tracer
+	)
+	if opts.traceOut != "" || opts.debugAddr != "" {
+		rec = elan.NewTraceRecorder(nil, 0)
+		reg = elan.NewMetricsRegistry()
+		tracer = rec
+	}
+	if opts.debugAddr != "" {
+		srv, err := elan.NewTelemetryServer(opts.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "debug: serving /metrics and /healthz on http://%s\n", srv.Addr())
 	}
 	const features, classes = 16, 8
-	train, err := elan.GenDataset(seed, 8192, features, classes)
+	train, err := elan.GenDataset(opts.seed, 8192, features, classes)
 	if err != nil {
 		return err
 	}
-	test, err := elan.GenDataset(seed+1, 2048, features, classes)
+	test, err := elan.GenDataset(opts.seed+1, 2048, features, classes)
 	if err != nil {
 		return err
 	}
 	job, err := elan.NewLiveJob(elan.LiveConfig{
 		Dataset:    train,
 		LayerSizes: []int{features, 32, classes},
-		Workers:    workers,
-		TotalBatch: tbs,
-		LR:         lr,
+		Workers:    opts.workers,
+		TotalBatch: opts.tbs,
+		LR:         opts.lr,
 		Momentum:   0.9,
-		Seed:       seed,
+		Seed:       opts.seed,
+		Tracer:     tracer,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return err
@@ -135,7 +172,7 @@ func run(ctx context.Context, w io.Writer, workers, tbs, iters int, lr float64, 
 	if err := report("start"); err != nil {
 		return err
 	}
-	for i := 0; i < iters; i++ {
+	for i := 0; i < opts.iters; i++ {
 		for next < len(actions) && actions[next].iter <= i {
 			a := actions[next]
 			next++
@@ -171,5 +208,71 @@ func run(ctx context.Context, w io.Writer, workers, tbs, iters int, lr float64, 
 			}
 		}
 	}
-	return report("final")
+	if err := report("final"); err != nil {
+		return err
+	}
+	// With tracing on, also exercise the resident worker-agent runtime so
+	// the trace covers all three layers — worker fleet lifecycle/steps,
+	// the coordination RPCs on the transport bus, and the core adjustment
+	// spans recorded above.
+	if rec != nil {
+		if err := runFleetSegment(ctx, w, train, tracer, reg, opts.seed); err != nil {
+			return err
+		}
+	}
+	if opts.traceOut != "" {
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := elan.WriteChromeTrace(f, rec.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: wrote %d spans (%d dropped) to %s — open in ui.perfetto.dev\n",
+			rec.Len(), rec.Dropped(), opts.traceOut)
+	}
+	return nil
+}
+
+// runFleetSegment runs a short fleet session — a few steps, one scale-out,
+// a few more steps — against the same dataset, under the shared tracer.
+func runFleetSegment(ctx context.Context, w io.Writer, train *elan.Dataset, tracer elan.Tracer, reg *elan.MetricsRegistry, seed int64) error {
+	fleet, err := elan.NewFleet(elan.FleetConfig{
+		Dataset:    train,
+		LayerSizes: []int{train.Features, 32, train.Classes},
+		Workers:    2,
+		TotalBatch: 30, // divisible by both 2 and the post-scale-out 3
+		LR:         0.02,
+		Momentum:   0.9,
+		Seed:       seed,
+		Tracer:     tracer,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	if err := fleet.Start(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fleet.Step(); err != nil {
+			return err
+		}
+	}
+	if err := fleet.RequestScaleOut(1); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := fleet.Step(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "fleet: %d workers after scale-out, consistent=%v\n",
+		fleet.NumWorkers(), fleet.ReplicasConsistent())
+	return nil
 }

@@ -8,15 +8,38 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/elan-sys/elan/internal/metrics"
 	"github.com/elan-sys/elan/internal/trace"
 )
+
+// pipeWriter wraps stdout so that a closed downstream pipe (elan-trace
+// -dump | head) ends the run cleanly instead of crashing: the first EPIPE
+// is remembered and all further writes are discarded.
+type pipeWriter struct {
+	w      io.Writer
+	broken bool
+}
+
+func (p *pipeWriter) Write(b []byte) (int, error) {
+	if p.broken {
+		return len(b), nil
+	}
+	n, err := p.w.Write(b)
+	if errors.Is(err, syscall.EPIPE) {
+		p.broken = true
+		return len(b), nil
+	}
+	return n, err
+}
 
 func main() {
 	var (
@@ -28,7 +51,11 @@ func main() {
 		dump    = flag.Bool("dump", false, "print every job instead of stats")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *hours, *perDay, *service, *gpus, *seed, *dump); err != nil {
+	// The Go runtime forwards SIGPIPE from writes to stdout as a process
+	// kill; ignore it so the write returns EPIPE and pipeWriter can turn
+	// the truncation into a clean exit.
+	signal.Ignore(syscall.SIGPIPE)
+	if err := run(&pipeWriter{w: os.Stdout}, *hours, *perDay, *service, *gpus, *seed, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "elan-trace:", err)
 		os.Exit(1)
 	}

@@ -20,6 +20,7 @@
 package elan
 
 import (
+	"io"
 	"time"
 
 	"github.com/elan-sys/elan/internal/baseline"
@@ -33,6 +34,7 @@ import (
 	"github.com/elan-sys/elan/internal/perfmodel"
 	"github.com/elan-sys/elan/internal/scaling"
 	"github.com/elan-sys/elan/internal/sched"
+	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/topology"
 	"github.com/elan-sys/elan/internal/trace"
 	"github.com/elan-sys/elan/internal/worker"
@@ -109,6 +111,20 @@ type (
 	Clock = clock.Clock
 	// SimClock is a discrete-event virtual clock implementing Clock.
 	SimClock = clock.Sim
+	// Tracer records nested spans; inject via LiveConfig.Tracer or
+	// FleetConfig.Tracer. A TraceRecorder is the live implementation.
+	Tracer = telemetry.Tracer
+	// Span is one traced operation; safe (and free) on a nil receiver.
+	Span = telemetry.Span
+	// SpanRecord is a completed span as snapshotted by a TraceRecorder.
+	SpanRecord = telemetry.SpanRecord
+	// TraceRecorder collects spans against an injected Clock.
+	TraceRecorder = telemetry.Recorder
+	// MetricsRegistry holds the runtime's named counters, gauges and
+	// histograms; inject via LiveConfig.Metrics or FleetConfig.Metrics.
+	MetricsRegistry = telemetry.Registry
+	// TelemetryServer serves /metrics and /healthz over HTTP.
+	TelemetryServer = telemetry.DebugServer
 )
 
 // Adjustment kinds.
@@ -230,6 +246,30 @@ func WallClock() Clock { return clock.Wall{} }
 // on deterministic discrete-event time; drive it with Advance, or start
 // AutoAdvance to have it jump to each next deadline automatically.
 func NewSimClock(epoch time.Time) *SimClock { return clock.NewSim(epoch) }
+
+// NewTraceRecorder builds a span recorder reading time from clk (nil
+// selects the wall clock) and retaining at most maxSpans completed spans
+// (0 selects the default). Pass it as the Tracer of a LiveConfig or
+// FleetConfig and export its Snapshot with WriteChromeTrace.
+func NewTraceRecorder(clk Clock, maxSpans int) *TraceRecorder {
+	return telemetry.NewRecorder(clk, maxSpans)
+}
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	return telemetry.WriteChromeTrace(w, spans)
+}
+
+// NewTelemetryServer serves reg's /metrics (Prometheus text format) and
+// /healthz on addr (e.g. "localhost:9090"; port 0 picks a free port —
+// read it back from Addr).
+func NewTelemetryServer(addr string, reg *MetricsRegistry) (*TelemetryServer, error) {
+	return telemetry.NewDebugServer(addr, reg)
+}
 
 // NewStaticEngine builds the Caffe-like precompiled training engine.
 func NewStaticEngine(seed int64, sizes []int, lr, momentum float64) (*StaticEngine, error) {

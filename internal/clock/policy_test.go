@@ -12,18 +12,19 @@ import (
 )
 
 // TestRuntimePackagesUseInjectedClock enforces the unified-time invariant:
-// no non-test file in the coordination stack (transport, coord, worker)
-// may read or wait on wall time directly — all timing must flow through an
-// injected clock.Clock so the whole stack runs identically on simulated
-// time. The CI workflow runs the same check via grep; this test keeps it
-// enforced locally and survives workflow drift.
+// no non-test file in the coordination stack (transport, coord, worker) or
+// the telemetry layer may read or wait on wall time directly — all timing
+// must flow through an injected clock.Clock so the whole stack runs
+// identically on simulated time (and traces carry exact virtual
+// timestamps). The CI workflow runs the same check via grep; this test
+// keeps it enforced locally and survives workflow drift.
 func TestRuntimePackagesUseInjectedClock(t *testing.T) {
 	banned := map[string]bool{
 		"Sleep": true, "After": true, "AfterFunc": true, "Now": true,
 		"NewTimer": true, "NewTicker": true, "Tick": true, "Since": true,
 	}
 	var violations []string
-	for _, dir := range []string{"../transport", "../coord", "../worker"} {
+	for _, dir := range []string{"../transport", "../coord", "../worker", "../telemetry"} {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatalf("ReadDir %s: %v", dir, err)

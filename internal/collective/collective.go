@@ -14,6 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // ErrClosed is returned when operating on a closed group.
@@ -39,6 +43,14 @@ type Group struct {
 
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	// Telemetry (SetTelemetry); the defaults cost nothing.
+	tr        telemetry.Tracer
+	clk       clock.Clock
+	link      string
+	mOps      *telemetry.Counter
+	mSeconds  *telemetry.Histogram
+	mElements *telemetry.Counter
 }
 
 // NewGroup constructs a communication group with n ranks.
@@ -50,12 +62,33 @@ func NewGroup(n int) (*Group, error) {
 		n:      n,
 		ring:   make([]chan chunkMsg, n),
 		closed: make(chan struct{}),
+		tr:     telemetry.Nop{},
 	}
 	for i := range g.ring {
 		g.ring[i] = make(chan chunkMsg, 1)
 	}
 	g.barrierC = sync.NewCond(&g.barrierMu)
 	return g, nil
+}
+
+// SetTelemetry attaches tracing and metrics to the group: every AllReduce
+// records one span per rank tagged with the link level, rank, vector
+// length, group size and chunk size — the shape of the paper's allreduce
+// cost-by-link-level accounting (Section IV). link labels the closest
+// common link of the group's placement (topology.LinkLevel.String(), or
+// "inproc" for the in-process goroutine substrate). Call before handing
+// the group to its ranks; the elastic runtime re-attaches after every
+// group reconstruction. Nil tracer/registry components stay disabled.
+func (g *Group) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry, clk clock.Clock, link string) {
+	g.tr = telemetry.OrNop(tr)
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	g.clk = clk
+	g.link = link
+	g.mOps = reg.Counter("collective_allreduce_total")
+	g.mSeconds = reg.Histogram("collective_allreduce_seconds")
+	g.mElements = reg.Counter("collective_allreduce_elements_total")
 }
 
 // Size returns the number of ranks.
@@ -109,6 +142,31 @@ func (g *Group) chunkBounds(total, idx int) (int, int) {
 // call it with a vector of identical length; on return every rank holds the
 // global sum. rank identifies the caller in [0, n).
 func (g *Group) AllReduce(rank int, vec []float64) error {
+	span := g.tr.StartSpan("collective.allreduce")
+	span.Annotate("link", g.link)
+	span.AnnotateInt("rank", rank)
+	span.AnnotateInt("ranks", g.n)
+	span.AnnotateInt("elements", len(vec))
+	span.AnnotateInt("chunk", (len(vec)+g.n-1)/g.n)
+	var start time.Time
+	if g.clk != nil {
+		start = g.clk.Now()
+	}
+	err := g.allReduce(rank, vec)
+	if g.clk != nil {
+		g.mSeconds.Observe(g.clk.Since(start).Seconds())
+	}
+	g.mOps.Inc()
+	g.mElements.Add(int64(len(vec)))
+	if err != nil {
+		span.Annotate("error", err.Error())
+	}
+	span.End()
+	return err
+}
+
+// allReduce is the uninstrumented two-phase ring.
+func (g *Group) allReduce(rank int, vec []float64) error {
 	if rank < 0 || rank >= g.n {
 		return fmt.Errorf("collective: rank %d out of [0, %d)", rank, g.n)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // HeartbeatMonitor tracks worker liveness for the AM. The paper's fault
@@ -23,6 +24,11 @@ type HeartbeatMonitor struct {
 	mu   sync.Mutex
 	clk  clock.Clock
 	last map[string]time.Time
+
+	// Nil-safe instruments; Instrument replaces them with live ones.
+	mBeats   *telemetry.Counter
+	mExpired *telemetry.Counter
+	mChecks  *telemetry.Counter
 }
 
 // ErrNilClock is returned when constructing a monitor without a clock.
@@ -37,11 +43,24 @@ func NewHeartbeatMonitor(clk clock.Clock) (*HeartbeatMonitor, error) {
 	return &HeartbeatMonitor{clk: clk, last: make(map[string]time.Time)}, nil
 }
 
+// Instrument attaches liveness metrics to the monitor: heartbeats
+// received, expiry checks performed, and workers declared expired. A nil
+// registry leaves the monitor uninstrumented.
+func (h *HeartbeatMonitor) Instrument(reg *telemetry.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.mBeats = reg.Counter("coord_heartbeats_total")
+	h.mExpired = reg.Counter("coord_heartbeats_expired_total")
+	h.mChecks = reg.Counter("coord_monitor_checks_total")
+}
+
 // Beat records a heartbeat from worker.
 func (h *HeartbeatMonitor) Beat(worker string) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.last[worker] = h.clk.Now()
+	beats := h.mBeats
+	h.mu.Unlock()
+	beats.Inc()
 }
 
 // Forget removes a worker (it left the job deliberately).
@@ -69,7 +88,6 @@ func (h *HeartbeatMonitor) Tracked() []string {
 // replacement adjustment.
 func (h *HeartbeatMonitor) Expired(ttl time.Duration) []string {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	deadline := h.clk.Now().Add(-ttl)
 	var out []string
 	for w, at := range h.last {
@@ -77,6 +95,10 @@ func (h *HeartbeatMonitor) Expired(ttl time.Duration) []string {
 			out = append(out, w)
 		}
 	}
+	checks, expired := h.mChecks, h.mExpired
+	h.mu.Unlock()
+	checks.Inc()
+	expired.Add(int64(len(out)))
 	sort.Strings(out)
 	return out
 }

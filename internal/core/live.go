@@ -15,6 +15,7 @@ import (
 	"github.com/elan-sys/elan/internal/replication"
 	"github.com/elan-sys/elan/internal/scaling"
 	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // LiveJob is real elastic data-parallel training: every worker holds its own
@@ -51,6 +52,18 @@ type LiveJob struct {
 	// accounting); lastAdjust is the duration of the most recent one.
 	clk        clock.Clock
 	lastAdjust time.Duration
+
+	// Telemetry: adjustment spans carry the commit-point and rollback
+	// events of the paper's Fig. 11/13 adjustment-cost story; all
+	// instruments are nil-safe, so the uninstrumented step path is free.
+	tr             telemetry.Tracer
+	metrics        *telemetry.Registry
+	link           string
+	mSteps         *telemetry.Counter
+	mStepSeconds   *telemetry.Histogram
+	mAdjustments   *telemetry.Counter
+	mAdjustSeconds *telemetry.Histogram
+	mRollbacks     *telemetry.Counter
 }
 
 // liveWorker is one data-parallel replica.
@@ -80,6 +93,15 @@ type LiveConfig struct {
 	// selects the wall clock. Simulated runs inject a clock.Sim so the
 	// job and the simulator share one notion of time.
 	Clock clock.Clock
+	// Tracer records step and adjustment spans (with commit-point and
+	// rollback events); nil disables tracing at zero cost.
+	Tracer telemetry.Tracer
+	// Metrics receives the job's counters and histograms; nil disables
+	// them at zero cost. The collective group shares it.
+	Metrics *telemetry.Registry
+	// LinkLabel tags allreduce spans with a link level; empty defaults to
+	// "inproc" (the in-process goroutine substrate).
+	LinkLabel string
 }
 
 // NewLiveJob builds the job, initializes identical replicas on all workers
@@ -125,6 +147,9 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Wall{}
 	}
+	if cfg.LinkLabel == "" {
+		cfg.LinkLabel = "inproc"
+	}
 	lj := &LiveJob{
 		dataset:  cfg.Dataset,
 		layers:   append([]int(nil), cfg.LayerSizes...),
@@ -136,7 +161,17 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 		lrSched:  lrSched,
 		seed:     cfg.Seed,
 		clk:      cfg.Clock,
+		tr:       telemetry.OrNop(cfg.Tracer),
+		link:     cfg.LinkLabel,
+		metrics:  cfg.Metrics,
+
+		mSteps:         cfg.Metrics.Counter("core_steps_total"),
+		mStepSeconds:   cfg.Metrics.Histogram("core_step_seconds"),
+		mAdjustments:   cfg.Metrics.Counter("core_adjustments_total"),
+		mAdjustSeconds: cfg.Metrics.Histogram("core_adjust_seconds"),
+		mRollbacks:     cfg.Metrics.Counter("core_rollbacks_total"),
 	}
+	group.SetTelemetry(lj.tr, cfg.Metrics, cfg.Clock, cfg.LinkLabel)
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := lj.buildWorker(cfg.LR)
 		if err != nil {
@@ -237,12 +272,24 @@ func (lj *LiveJob) Step() (float64, error) {
 	return lj.stepLocked()
 }
 
-func (lj *LiveJob) stepLocked() (float64, error) {
+func (lj *LiveJob) stepLocked() (_ float64, err error) {
 	n := len(lj.workers)
 	perWorker := lj.tbs / n
 	if perWorker == 0 {
 		return 0, fmt.Errorf("core: total batch %d too small for %d workers", lj.tbs, n)
 	}
+	span := lj.tr.StartSpan("core.step")
+	span.AnnotateInt("iter", lj.iter)
+	span.AnnotateInt("workers", n)
+	stepStart := lj.clk.Now()
+	defer func() {
+		lj.mStepSeconds.Observe(lj.clk.Since(stepStart).Seconds())
+		lj.mSteps.Inc()
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
+	}()
 	lr := lj.lrSched.At(lj.iter)
 
 	// Assign data shards (serial semantics).
@@ -370,7 +417,7 @@ func (lj *LiveJob) ScaleOut(n int) error {
 // discarded and no job state changes. Once the AM has accepted the
 // request the adjustment runs to completion, preserving the protocol's
 // atomicity.
-func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) error {
+func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) (err error) {
 	if n <= 0 {
 		return fmt.Errorf("core: scale-out by %d", n)
 	}
@@ -381,23 +428,38 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) error {
 	}
 	start := lj.clk.Now()
 	oldN := len(lj.workers)
+	span := lj.tr.StartSpan("core.scale_out")
+	span.AnnotateInt("from", oldN)
+	span.AnnotateInt("to", oldN+n)
+	defer func() {
+		lj.mAdjustSeconds.Observe(lj.clk.Since(start).Seconds())
+		if err != nil {
+			span.Annotate("error", err.Error())
+		} else {
+			lj.mAdjustments.Inc()
+		}
+		span.End()
+	}()
 	if lj.tbs%(oldN+n) != 0 {
 		return fmt.Errorf("core: total batch %d not divisible by %d workers", lj.tbs, oldN+n)
 	}
 	// Step 1: request. Launch replicas (the "start+init" that Elan overlaps
 	// with training; here construction is synchronous but the AM protocol
 	// is exercised end to end).
+	buildSpan := span.Child("core.build_replicas")
 	lr := lj.lrSched.At(lj.iter)
 	var names []string
 	var fresh []*liveWorker
 	for i := 0; i < n; i++ {
 		w, err := lj.buildWorker(lr)
 		if err != nil {
+			buildSpan.End()
 			return err
 		}
 		fresh = append(fresh, w)
 		names = append(names, w.name)
 	}
+	buildSpan.End()
 	// Last cancellation point: the fresh replicas are garbage-collected
 	// and nothing was registered anywhere.
 	if err := ctx.Err(); err != nil {
@@ -406,6 +468,9 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) error {
 	if err := lj.am.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
 		return err
 	}
+	// The AM has accepted the request: past this point the adjustment runs
+	// to completion or rolls back — the protocol's commit point.
+	span.Event("commit-point")
 	// Step 2: report.
 	for _, name := range names {
 		if err := lj.am.ReportReady(name); err != nil {
@@ -424,17 +489,26 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) error {
 	// existing worker via the registered hooks (real byte movement). On a
 	// replication failure the fresh workers are rolled back so the job is
 	// left at its old size with consistent survivors.
+	replSpan := span.Child("core.replicate_state")
 	lj.workers = append(lj.workers, fresh...)
 	for i := 0; i < n; i++ {
 		src := i % oldN // spread sources like the concurrent planner
 		if err := lj.copier.Execute(src, oldN+i); err != nil {
 			lj.workers = lj.workers[:oldN]
+			replSpan.End()
+			span.Event("rollback")
+			lj.mRollbacks.Inc()
 			return err
 		}
 	}
+	replSpan.End()
 	// Step 5: state adjustment — repartition and group reconstruction.
+	reconfSpan := span.Child("core.reconfigure")
+	defer reconfSpan.End()
 	if err := lj.loader.Repartition(oldN, oldN+n); err != nil {
 		lj.workers = lj.workers[:oldN]
+		span.Event("rollback")
+		lj.mRollbacks.Inc()
 		return err
 	}
 	lj.group.Close()
@@ -442,6 +516,7 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) error {
 	if err != nil {
 		return err
 	}
+	group.SetTelemetry(lj.tr, lj.metrics, lj.clk, lj.link)
 	lj.group = group
 	lj.lastAdjust = lj.clk.Since(start)
 	return nil
@@ -455,7 +530,7 @@ func (lj *LiveJob) ScaleIn(n int) error {
 
 // ScaleInCtx is ScaleIn under a caller context; cancellation before the
 // AM accepts the request aborts with no state change.
-func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) error {
+func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) (err error) {
 	lj.mu.Lock()
 	defer lj.mu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -467,6 +542,18 @@ func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) error {
 		return fmt.Errorf("core: scale-in by %d of %d workers", n, oldN)
 	}
 	newN := oldN - n
+	span := lj.tr.StartSpan("core.scale_in")
+	span.AnnotateInt("from", oldN)
+	span.AnnotateInt("to", newN)
+	defer func() {
+		lj.mAdjustSeconds.Observe(lj.clk.Since(start).Seconds())
+		if err != nil {
+			span.Annotate("error", err.Error())
+		} else {
+			lj.mAdjustments.Inc()
+		}
+		span.End()
+	}()
 	if lj.tbs%newN != 0 {
 		return fmt.Errorf("core: total batch %d not divisible by %d workers", lj.tbs, newN)
 	}
@@ -477,10 +564,13 @@ func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) error {
 	if err := lj.am.RequestAdjustment(coord.ScaleIn, nil, names); err != nil {
 		return err
 	}
+	span.Event("commit-point")
 	if _, ok, err := lj.am.Coordinate(); err != nil || !ok {
 		return fmt.Errorf("core: scale-in coordination failed (ok=%v err=%v)", ok, err)
 	}
 	lj.workers = lj.workers[:newN]
+	reconfSpan := span.Child("core.reconfigure")
+	defer reconfSpan.End()
 	if err := lj.loader.Repartition(oldN, newN); err != nil {
 		return err
 	}
@@ -489,6 +579,7 @@ func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) error {
 	if err != nil {
 		return err
 	}
+	group.SetTelemetry(lj.tr, lj.metrics, lj.clk, lj.link)
 	lj.group = group
 	lj.lastAdjust = lj.clk.Since(start)
 	return nil

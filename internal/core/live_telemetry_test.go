@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/replication"
+	"github.com/elan-sys/elan/internal/telemetry"
+)
+
+// TestScaleOutSpanExactVirtualTimestamps runs one ScaleOutCtx adjustment on
+// a simulated clock and asserts every span timestamp exactly: the recorder
+// reads the same injected clock as the job, so the trace of an adjustment
+// is a deterministic fixture.
+func TestScaleOutSpanExactVirtualTimestamps(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sim := clock.NewSim(epoch)
+	rec := telemetry.NewRecorder(sim, 0)
+	reg := telemetry.NewRegistry()
+	lj, err := NewLiveJob(LiveConfig{
+		Dataset:    liveDataset(t, 2048),
+		LayerSizes: []int{2, 24, 3},
+		Workers:    2,
+		TotalBatch: 60,
+		LR:         0.05,
+		Momentum:   0.9,
+		Seed:       7,
+		Clock:      sim,
+		Tracer:     rec,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatalf("NewLiveJob: %v", err)
+	}
+	t.Cleanup(lj.Close)
+
+	// The adjustment fires at virtual t = epoch+5s. It is synchronous and
+	// never waits on the clock, so every span of the adjustment starts AND
+	// ends at exactly that instant.
+	sim.Advance(5 * time.Second)
+	at := epoch.Add(5 * time.Second)
+	if err := lj.ScaleOutCtx(context.Background(), 1); err != nil {
+		t.Fatalf("ScaleOutCtx: %v", err)
+	}
+
+	spans := rec.Snapshot()
+	byName := make(map[string]telemetry.SpanRecord, len(spans))
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["core.scale_out"]
+	if !ok {
+		t.Fatalf("no core.scale_out span in %d spans", len(spans))
+	}
+	for _, name := range []string{"core.scale_out", "core.build_replicas", "core.replicate_state", "core.reconfigure"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing span %q", name)
+		}
+		if !s.Start.Equal(at) || !s.End.Equal(at) {
+			t.Errorf("%s window = [%v, %v], want exactly %v", name, s.Start, s.End, at)
+		}
+		if name != "core.scale_out" && s.Parent != root.ID {
+			t.Errorf("%s parent = %d, want root %d", name, s.Parent, root.ID)
+		}
+	}
+	if from, _ := root.Attr("from"); from != "2" {
+		t.Errorf("from attr = %q, want 2", from)
+	}
+	if to, _ := root.Attr("to"); to != "3" {
+		t.Errorf("to attr = %q, want 3", to)
+	}
+	if len(root.Events) != 1 || root.Events[0].Name != "commit-point" || !root.Events[0].At.Equal(at) {
+		t.Errorf("root events = %+v, want one commit-point at %v", root.Events, at)
+	}
+	if _, hasErr := root.Attr("error"); hasErr {
+		t.Error("successful adjustment carries an error attribute")
+	}
+	if lj.LastAdjustDuration() != 0 {
+		t.Errorf("virtual adjustment duration = %v, want 0 (no clock waits)", lj.LastAdjustDuration())
+	}
+	if got := reg.Counter("core_adjustments_total").Value(); got != 1 {
+		t.Errorf("core_adjustments_total = %d, want 1", got)
+	}
+	if got := reg.Counter("core_rollbacks_total").Value(); got != 0 {
+		t.Errorf("core_rollbacks_total = %d, want 0", got)
+	}
+	if got := reg.Histogram("core_adjust_seconds").Snapshot(); got.Count != 1 || got.Sum != 0 {
+		t.Errorf("core_adjust_seconds = %+v, want one zero-duration sample", got)
+	}
+}
+
+// TestStepSpansOnSimClock: step spans and the allreduce spans they trigger
+// share the virtual instant, and the step counters advance.
+func TestStepSpansOnSimClock(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sim := clock.NewSim(epoch)
+	rec := telemetry.NewRecorder(sim, 0)
+	reg := telemetry.NewRegistry()
+	lj, err := NewLiveJob(LiveConfig{
+		Dataset:    liveDataset(t, 2048),
+		LayerSizes: []int{2, 24, 3},
+		Workers:    2,
+		TotalBatch: 60,
+		LR:         0.05,
+		Momentum:   0.9,
+		Seed:       7,
+		Clock:      sim,
+		Tracer:     rec,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatalf("NewLiveJob: %v", err)
+	}
+	t.Cleanup(lj.Close)
+
+	sim.Advance(time.Second)
+	if _, err := lj.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	at := epoch.Add(time.Second)
+	var steps, reduces int
+	for _, s := range rec.Snapshot() {
+		switch s.Name {
+		case "core.step":
+			steps++
+			if !s.Start.Equal(at) || !s.End.Equal(at) {
+				t.Errorf("core.step window = [%v, %v], want %v", s.Start, s.End, at)
+			}
+			if iter, _ := s.Attr("iter"); iter != "0" {
+				t.Errorf("iter attr = %q, want 0", iter)
+			}
+		case "collective.allreduce":
+			reduces++
+			if link, _ := s.Attr("link"); link != "inproc" {
+				t.Errorf("link attr = %q, want inproc", link)
+			}
+		}
+	}
+	if steps != 1 {
+		t.Errorf("core.step spans = %d, want 1", steps)
+	}
+	if reduces != 2 { // one per worker rank
+		t.Errorf("collective.allreduce spans = %d, want 2", reduces)
+	}
+	if got := reg.Counter("core_steps_total").Value(); got != 1 {
+		t.Errorf("core_steps_total = %d, want 1", got)
+	}
+	if got := reg.Counter("collective_allreduce_total").Value(); got != 2 {
+		t.Errorf("collective_allreduce_total = %d, want 2", got)
+	}
+}
+
+// TestScaleOutRollbackEvent: a replication failure rolls the worker set
+// back and the trace records it.
+func TestScaleOutRollbackEvent(t *testing.T) {
+	sim := clock.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	rec := telemetry.NewRecorder(sim, 0)
+	reg := telemetry.NewRegistry()
+	lj, err := NewLiveJob(LiveConfig{
+		Dataset:    liveDataset(t, 2048),
+		LayerSizes: []int{2, 24, 3},
+		Workers:    2,
+		TotalBatch: 60,
+		LR:         0.05,
+		Momentum:   0.9,
+		Seed:       7,
+		Clock:      sim,
+		Tracer:     rec,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatalf("NewLiveJob: %v", err)
+	}
+	t.Cleanup(lj.Close)
+	// Sabotage replication: swap in a copier whose only hook fails.
+	lj.copier = replication.NewCopier()
+	if err := lj.copier.RegisterHook(replication.Hook{
+		Kind: "model", OnGPU: true,
+		Copy: func(src, dst int) error { return errors.New("injected copy failure") },
+	}); err != nil {
+		t.Fatalf("RegisterHook: %v", err)
+	}
+
+	if err := lj.ScaleOut(1); err == nil {
+		t.Fatal("sabotaged scale-out succeeded")
+	}
+	if lj.NumWorkers() != 2 {
+		t.Fatalf("workers = %d after rollback, want 2", lj.NumWorkers())
+	}
+	var root telemetry.SpanRecord
+	for _, s := range rec.Snapshot() {
+		if s.Name == "core.scale_out" {
+			root = s
+		}
+	}
+	var sawRollback bool
+	for _, ev := range root.Events {
+		if ev.Name == "rollback" {
+			sawRollback = true
+		}
+	}
+	if !sawRollback {
+		t.Errorf("no rollback event on %+v", root.Events)
+	}
+	if _, hasErr := root.Attr("error"); !hasErr {
+		t.Error("failed adjustment carries no error attribute")
+	}
+	if got := reg.Counter("core_rollbacks_total").Value(); got != 1 {
+		t.Errorf("core_rollbacks_total = %d, want 1", got)
+	}
+	if got := reg.Counter("core_adjustments_total").Value(); got != 0 {
+		t.Errorf("core_adjustments_total = %d, want 0", got)
+	}
+}

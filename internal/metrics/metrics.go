@@ -64,6 +64,11 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile on already-sorted non-empty input.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -78,6 +83,32 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles holds the tail percentiles reported by the telemetry layer's
+// histograms (latency distributions are summarized as P50/P95/P99, the
+// shape of the paper's timing claims).
+type Quantiles struct {
+	P50 float64
+	P95 float64
+	P99 float64
+}
+
+// QuantilesOf computes P50/P95/P99 of xs with a single sort, using the
+// same closest-rank interpolation as Percentile. Empty input yields a zero
+// Quantiles.
+func QuantilesOf(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Quantiles{
+		P50: percentileSorted(sorted, 50),
+		P95: percentileSorted(sorted, 95),
+		P99: percentileSorted(sorted, 99),
+	}
 }
 
 // Series is an append-only (x, y) time series.

@@ -222,3 +222,87 @@ func TestSeriesCSV(t *testing.T) {
 		t.Fatalf("CSV = %q", b.String())
 	}
 }
+
+func TestQuantilesEmptyAndSingle(t *testing.T) {
+	if q := QuantilesOf(nil); q != (Quantiles{}) {
+		t.Fatalf("empty quantiles = %+v", q)
+	}
+	q := QuantilesOf([]float64{3})
+	if q.P50 != 3 || q.P95 != 3 || q.P99 != 3 {
+		t.Fatalf("single quantiles = %+v", q)
+	}
+}
+
+func TestQuantilesMatchPercentile(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3, 6, 5, 0}
+	q := QuantilesOf(xs)
+	for _, c := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{
+		{50, q.P50, "P50"},
+		{95, q.P95, "P95"},
+		{99, q.P99, "P99"},
+	} {
+		if want := Percentile(xs, c.p); !almostEq(c.got, want) {
+			t.Errorf("%s = %v, Percentile(%v) = %v", c.name, c.got, c.p, want)
+		}
+	}
+}
+
+func TestQuantilesProperties(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		q := QuantilesOf(xs)
+		if len(xs) == 0 {
+			return q == Quantiles{}
+		}
+		s := Summarize(xs)
+		// Ordered and bounded by the sample range.
+		if q.P50 > q.P95+1e-9 || q.P95 > q.P99+1e-9 {
+			return false
+		}
+		if q.P50 < s.Min-1e-9 || q.P99 > s.Max+1e-9 {
+			return false
+		}
+		// Permutation invariance: quantiles are order statistics.
+		rev := make([]float64, len(xs))
+		for i, x := range xs {
+			rev[len(xs)-1-i] = x
+		}
+		qr := QuantilesOf(rev)
+		return almostEq(q.P50, qr.P50) && almostEq(q.P95, qr.P95) && almostEq(q.P99, qr.P99)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantilesScaleEquivariant(t *testing.T) {
+	// Quantiles commute with positive affine maps: Q(a*x+b) = a*Q(x)+b.
+	xs := []float64{0.5, 2, 2, 3, 7, 11, 13, 29}
+	q := QuantilesOf(xs)
+	scaled := make([]float64, len(xs))
+	const a, b = 2.5, -4
+	for i, x := range xs {
+		scaled[i] = a*x + b
+	}
+	qs := QuantilesOf(scaled)
+	if !almostEq(qs.P50, a*q.P50+b) || !almostEq(qs.P95, a*q.P95+b) || !almostEq(qs.P99, a*q.P99+b) {
+		t.Fatalf("affine map not respected: %+v vs %+v", qs, q)
+	}
+}
+
+func TestQuantilesDoNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	QuantilesOf(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}

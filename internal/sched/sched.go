@@ -20,6 +20,7 @@ import (
 	"github.com/elan-sys/elan/internal/metrics"
 	"github.com/elan-sys/elan/internal/models"
 	"github.com/elan-sys/elan/internal/perfmodel"
+	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/trace"
 )
 
@@ -166,6 +167,11 @@ type Config struct {
 	// reclaimed, running jobs are shrunk (to min_res and, in emergencies,
 	// below) to fit.
 	CapacityFn func(time.Duration) int
+	// Metrics, when set, receives the scheduler's counters and the
+	// queueing-delay histogram (sched_queue_seconds). The simulator runs on
+	// virtual time, so delays are observed in virtual seconds; a nil
+	// registry disables everything at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's experimental setup for a policy/system.
@@ -246,7 +252,14 @@ func Run(cfg Config, jobs []trace.Job) (*Result, error) {
 	if cfg.CapacityFn != nil && !cfg.Policy.Elastic() {
 		return nil, fmt.Errorf("sched: transient capacity requires an elastic policy")
 	}
-	s := &sim{cfg: cfg}
+	s := &sim{
+		cfg:           cfg,
+		mQueueSeconds: cfg.Metrics.Histogram("sched_queue_seconds"),
+		mStarts:       cfg.Metrics.Counter("sched_jobs_started_total"),
+		mAdjustments:  cfg.Metrics.Counter("sched_adjustments_total"),
+		mReallocs:     cfg.Metrics.Counter("sched_realloc_runs_total"),
+		mReclaims:     cfg.Metrics.Counter("sched_capacity_reclaims_total"),
+	}
 	for _, j := range jobs {
 		if j.ReqWorkers <= 0 || j.MinWorkers <= 0 || j.MaxWorkers < j.ReqWorkers ||
 			j.PerWorkerBatch <= 0 || j.TotalSamples <= 0 {
@@ -264,6 +277,13 @@ type sim struct {
 	now   time.Duration
 	free  int
 	total int
+
+	// Nil-safe instruments resolved from cfg.Metrics.
+	mQueueSeconds *telemetry.Histogram
+	mStarts       *telemetry.Counter
+	mAdjustments  *telemetry.Counter
+	mReallocs     *telemetry.Counter
+	mReclaims     *telemetry.Counter
 }
 
 // applyCapacity adjusts the pool to the transient capacity at the current
@@ -311,6 +331,8 @@ func (s *sim) applyCapacity(running []*simJob) {
 		victim.rate = s.rate(victim)
 		victim.pausedUntil = s.now + pause
 		s.free++
+		s.mReclaims.Inc()
+		s.mAdjustments.Inc()
 	}
 }
 
@@ -489,6 +511,8 @@ func (s *sim) startJob(j *simJob, workers int, running *[]*simJob) {
 	j.rate = s.rate(j)
 	s.free -= workers
 	*running = append(*running, j)
+	s.mStarts.Inc()
+	s.mQueueSeconds.Observe((j.start - j.spec.Submit).Seconds())
 }
 
 // admit applies the policy's admission rule and returns the new queue.
@@ -642,6 +666,7 @@ func (s *sim) reallocate(running []*simJob, reserve int) {
 	if len(running) == 0 {
 		return
 	}
+	s.mReallocs.Inc()
 	avail := s.free
 	alloc := make(map[*simJob]int, len(running))
 	for _, j := range running {
@@ -709,5 +734,6 @@ func (s *sim) reallocate(running []*simJob, reserve int) {
 		j.perBatch = s.batchFor(j, w)
 		j.rate = s.rate(j)
 		j.pausedUntil = s.now + pause
+		s.mAdjustments.Inc()
 	}
 }

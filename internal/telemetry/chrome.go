@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format
+// (the subset chrome://tracing and Perfetto consume): "X" complete events
+// for spans and "i" instant events for span events.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   uint64            `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON. Each root
+// span's tree is placed on its own track (tid = root span ID), so nested
+// spans stack by time containment and concurrent operations get separate
+// rows. Timestamps are microseconds relative to the earliest span start,
+// which keeps the numbers small under both wall and simulated epochs.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	if len(spans) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	var origin time.Time
+	for i, s := range spans {
+		if i == 0 || s.Start.Before(origin) {
+			origin = s.Start
+		}
+	}
+	// Resolve each span's root for track assignment.
+	parent := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	root := func(id uint64) uint64 {
+		for parent[id] != 0 {
+			id = parent[id]
+		}
+		return id
+	}
+	micros := func(t time.Time) float64 {
+		return float64(t.Sub(origin)) / float64(time.Microsecond)
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		tid := root(s.ID)
+		var args map[string]string
+		if len(s.Attrs) > 0 {
+			args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Cat:   "elan",
+			Phase: "X",
+			TS:    micros(s.Start),
+			Dur:   micros(s.End) - micros(s.Start),
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		})
+		for _, ev := range s.Events {
+			events = append(events, chromeEvent{
+				Name:  s.Name + "/" + ev.Name,
+				Cat:   "elan",
+				Phase: "i",
+				TS:    micros(ev.At),
+				PID:   1,
+				TID:   tid,
+				Scope: "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

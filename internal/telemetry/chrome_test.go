@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+)
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty trace = %q, want []", sb.String())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	sim := clock.NewSim(epoch)
+	rec := NewRecorder(sim, 0)
+
+	root := rec.StartSpan("core.scale_out")
+	root.AnnotateInt("from", 2)
+	sim.Advance(10 * time.Millisecond)
+	child := root.Child("core.replicate_state")
+	sim.Advance(5 * time.Millisecond)
+	root.Event("commit-point")
+	child.End()
+	root.End()
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, rec.Snapshot()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 3 { // two X spans + one instant
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	byName := make(map[string]map[string]any)
+	for _, e := range events {
+		byName[e["name"].(string)] = e
+	}
+	rootEv, ok := byName["core.scale_out"]
+	if !ok {
+		t.Fatalf("missing root event: %v", byName)
+	}
+	if rootEv["ph"] != "X" || rootEv["ts"].(float64) != 0 || rootEv["dur"].(float64) != 15000 {
+		t.Errorf("root event = %v, want X at ts=0 dur=15000µs", rootEv)
+	}
+	if args, ok := rootEv["args"].(map[string]any); !ok || args["from"] != "2" {
+		t.Errorf("root args = %v", rootEv["args"])
+	}
+	childEv := byName["core.replicate_state"]
+	if childEv == nil || childEv["ts"].(float64) != 10000 || childEv["dur"].(float64) != 5000 {
+		t.Errorf("child event = %v, want ts=10000 dur=5000", childEv)
+	}
+	// The child rides the root's track.
+	if childEv["tid"].(float64) != rootEv["tid"].(float64) {
+		t.Errorf("child tid %v != root tid %v", childEv["tid"], rootEv["tid"])
+	}
+	inst := byName["core.scale_out/commit-point"]
+	if inst == nil || inst["ph"] != "i" || inst["ts"].(float64) != 15000 || inst["s"] != "t" {
+		t.Errorf("instant event = %v, want i at ts=15000 scope t", inst)
+	}
+}
+
+// TestChromeTraceSeparateTracks: concurrent root spans land on distinct
+// tracks.
+func TestChromeTraceSeparateTracks(t *testing.T) {
+	rec := NewRecorder(clock.NewSim(epoch), 0)
+	a := rec.StartSpan("a")
+	b := rec.StartSpan("b")
+	a.End()
+	b.End()
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	if events[0]["tid"] == events[1]["tid"] {
+		t.Fatalf("concurrent roots share tid %v", events[0]["tid"])
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// DebugServer serves the runtime's observability endpoints over HTTP:
+//
+//	/metrics  Prometheus text snapshot of the registry
+//	/healthz  liveness probe ("ok")
+//
+// It owns one listener goroutine (plus net/http's per-connection ones) and
+// Close tears all of them down and waits, so tests can assert no leak.
+type DebugServer struct {
+	reg  *Registry
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewDebugServer listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// starts serving. The registry may be nil (the metrics snapshot is empty).
+func NewDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	d := &DebugServer{reg: reg, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	d.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(d.done)
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = d.reg.WritePrometheus(w)
+}
+
+// Addr returns the bound address (host:port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server, aborting open connections, and waits for the
+// serve goroutine to exit. Closing twice is safe.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}

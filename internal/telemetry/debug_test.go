@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("transport_calls_total").Add(42)
+	srv, err := NewDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body = get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "transport_calls_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	// Metrics are live, not a construction-time snapshot.
+	reg.Counter("transport_calls_total").Inc()
+	if _, body = get(t, "http://"+srv.Addr()+"/metrics"); !strings.Contains(body, "transport_calls_total 43") {
+		t.Errorf("/metrics not live:\n%s", body)
+	}
+}
+
+func TestDebugServerNilRegistry(t *testing.T) {
+	srv, err := NewDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	defer srv.Close()
+	if code, body := get(t, "http://"+srv.Addr()+"/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("/metrics on nil registry = %d %q", code, body)
+	}
+}
+
+// TestDebugServerShutdownNoLeak: Close tears down the serve goroutine and
+// every connection goroutine.
+func TestDebugServerShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := NewDebugServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	get(t, "http://"+srv.Addr()+"/healthz")
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	waitNumGoroutine(t, before)
+	// Closing twice is safe.
+	_ = srv.Close()
+}

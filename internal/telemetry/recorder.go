@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+)
+
+// DefaultMaxSpans bounds a Recorder's memory: once this many spans are
+// stored, further End calls are counted as dropped instead of recorded.
+const DefaultMaxSpans = 1 << 16
+
+// Recorder is the live Tracer: it timestamps spans on an injected
+// clock.Clock and stores finished spans for export. It is safe for
+// concurrent use by any number of goroutines (each span itself stays on
+// one goroutine).
+type Recorder struct {
+	clk clock.Clock
+	max int
+
+	mu      sync.Mutex
+	nextID  uint64
+	spans   []SpanRecord
+	dropped int
+}
+
+// NewRecorder builds a Recorder on the given clock. A nil clock selects the
+// wall clock; simulated runs inject a *clock.Sim so every timestamp is
+// exact virtual time. maxSpans <= 0 selects DefaultMaxSpans.
+func NewRecorder(clk clock.Clock, maxSpans int) *Recorder {
+	if clk == nil {
+		clk = clock.Wall{}
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Recorder{clk: clk, max: maxSpans}
+}
+
+// Clock returns the recorder's time source.
+func (r *Recorder) Clock() clock.Clock { return r.clk }
+
+func (r *Recorder) now() time.Time { return r.clk.Now() }
+
+// StartSpan implements Tracer.
+func (r *Recorder) StartSpan(name string) *Span { return r.startSpan(name, 0) }
+
+func (r *Recorder) startSpan(name string, parent uint64) *Span {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+	return &Span{rec: r, id: id, parent: parent, name: name, start: r.clk.Now()}
+}
+
+// finish stores the span's record, honoring the span cap.
+func (r *Recorder) finish(s *Span) {
+	end := r.clk.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.max {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    end,
+		Attrs:  s.attrs,
+		Events: s.events,
+	})
+}
+
+// Snapshot returns a copy of the finished spans ordered by start time
+// (ties broken by ID, i.e. creation order — deterministic under a sim
+// clock).
+func (r *Recorder) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len reports the number of stored spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped reports how many finished spans were discarded by the cap.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset discards all stored spans (the drop counter too), e.g. between
+// benchmark phases.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = nil
+	r.dropped = 0
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/elan-sys/elan/internal/metrics"
+)
+
+// histWindow is how many recent observations a Histogram retains for
+// quantile estimation; count and sum are exact over the full stream.
+const histWindow = 4096
+
+// Counter is a monotonically increasing int64. The nil Counter (from a nil
+// Registry) is a valid, allocation-free no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored — counters only
+// go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. The nil Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates float64 observations: exact count and sum over the
+// whole stream plus a sliding window of the most recent histWindow samples
+// for quantile estimation. The nil Histogram is a valid no-op.
+type Histogram struct {
+	mu     sync.Mutex
+	count  int64
+	sum    float64
+	window []float64
+	next   int // ring cursor once the window is full
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if len(h.window) < histWindow {
+		h.window = append(h.window, v)
+	} else {
+		h.window[h.next] = v
+		h.next = (h.next + 1) % histWindow
+	}
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a Histogram's state at one instant.
+type HistSnapshot struct {
+	// Count and Sum are exact over every observation.
+	Count int64
+	Sum   float64
+	// Summary and Quantiles describe the retained window.
+	Summary   metrics.Summary
+	Quantiles metrics.Quantiles
+}
+
+// Snapshot computes the histogram's statistics (zero value on nil).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	window := make([]float64, len(h.window))
+	copy(window, h.window)
+	snap := HistSnapshot{Count: h.count, Sum: h.sum}
+	h.mu.Unlock()
+	snap.Summary = metrics.Summarize(window)
+	snap.Quantiles = metrics.QuantilesOf(window)
+	return snap
+}
+
+// Registry holds named instruments. Components resolve their instruments
+// once at construction (Counter/Gauge/Histogram are get-or-create) and use
+// them lock-free afterwards. The nil Registry hands out nil instruments,
+// so an unconfigured component pays nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WritePrometheus emits a Prometheus text-exposition snapshot of every
+// instrument, sorted by name for stable output. Histograms are rendered as
+// summaries (quantile series plus _sum and _count). A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n",
+			name, name, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		snap := hists[name].Snapshot()
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			name,
+			name, snap.Quantiles.P50,
+			name, snap.Quantiles.P95,
+			name, snap.Quantiles.P99,
+			name, snap.Sum,
+			name, snap.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,163 @@
+// Package telemetry is the observability substrate of the elastic runtime:
+// nested spans (a Tracer) and typed counters/gauges/histograms (a Registry)
+// that every runtime layer — transport, coord, worker, core, collective,
+// sched — emits so the paper's timing claims (sub-second adjustment,
+// replication cost by link level, coordination overhead) are measurable
+// artifacts instead of ad-hoc prints.
+//
+// Two properties shape the design:
+//
+//   - Clock injection. A Recorder reads time exclusively from an injected
+//     clock.Clock, so runs under a clock.Sim produce exact virtual
+//     timestamps and traces become assertable test fixtures (the same
+//     discipline PR 1 established for timeouts and heartbeats).
+//   - A free disabled path. The default Tracer is Nop and unconfigured
+//     instruments are nil; every Span and instrument method is safe on a
+//     nil receiver and performs no allocation, so instrumented hot paths
+//     (the worker step, the bus call loop) cost nothing when telemetry is
+//     off.
+//
+// Exporters turn the recorded data into standard formats: WriteChromeTrace
+// emits Chrome trace-event JSON loadable in chrome://tracing or Perfetto,
+// and Registry.WritePrometheus emits a Prometheus-style text snapshot
+// (served live by DebugServer under /metrics).
+package telemetry
+
+import (
+	"strconv"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// EventRecord is an instantaneous, timestamped event inside a span (e.g.
+// the commit point of a scale-out, or a transport resend).
+type EventRecord struct {
+	Name string    `json:"name"`
+	At   time.Time `json:"at"`
+}
+
+// SpanRecord is one finished span as stored by a Recorder.
+type SpanRecord struct {
+	// ID is unique within the recorder; Parent is 0 for root spans.
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	End    time.Time     `json:"end"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+	Events []EventRecord `json:"events,omitempty"`
+}
+
+// Duration returns the span's recorded duration.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Attr returns the value of the named attribute and whether it was set.
+func (r SpanRecord) Attr(key string) (string, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Tracer starts spans. The two implementations are Recorder (keeps finished
+// spans for export) and Nop (free). Component configs take a Tracer and
+// normalize nil to Nop via OrNop.
+type Tracer interface {
+	// StartSpan opens a root span. The returned *Span may be nil (the Nop
+	// tracer); all Span methods tolerate a nil receiver, so call sites
+	// never check.
+	StartSpan(name string) *Span
+}
+
+// Nop is the disabled tracer: StartSpan returns a nil span whose methods
+// all no-op without allocating.
+type Nop struct{}
+
+// StartSpan implements Tracer.
+func (Nop) StartSpan(string) *Span { return nil }
+
+// OrNop normalizes a possibly-nil Tracer to Nop, the plumbing idiom used
+// by every instrumented config.
+func OrNop(tr Tracer) Tracer {
+	if tr == nil {
+		return Nop{}
+	}
+	return tr
+}
+
+// Span is an in-progress operation. Spans are created by a Tracer (or as
+// children of other spans), annotated, and closed with End, at which point
+// the owning Recorder stores a SpanRecord. A Span must not be used from
+// multiple goroutines concurrently, matching how the runtime scopes them
+// (one span per call / step / adjustment). The nil Span is valid and all
+// its methods are allocation-free no-ops.
+type Span struct {
+	rec    *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	events []EventRecord
+	ended  bool
+}
+
+// Child opens a nested span under s. On a nil span it returns nil, keeping
+// the whole tree free when tracing is off.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.startSpan(name, s.id)
+}
+
+// Annotate attaches a key/value attribute.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// AnnotateInt attaches an integer attribute. The formatting cost is only
+// paid when the span is live.
+func (s *Span) AnnotateInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.Itoa(v)})
+}
+
+// AnnotateDuration attaches a duration attribute.
+func (s *Span) AnnotateDuration(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: d.String()})
+}
+
+// Event records an instantaneous named event at the current (injected)
+// clock reading — resends, commit points, rollbacks.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, EventRecord{Name: name, At: s.rec.now()})
+}
+
+// End closes the span and hands it to the recorder. Ending twice records
+// once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.finish(s)
+}

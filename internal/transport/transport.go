@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // Errors returned by the transport layer.
@@ -66,6 +67,12 @@ type BusConfig struct {
 	// Nil selects the wall clock; tests inject a clock.Sim so the whole
 	// resend protocol runs on instant virtual time.
 	Clock clock.Clock
+	// Tracer records a span per Call with resend events; nil disables
+	// tracing at zero cost.
+	Tracer telemetry.Tracer
+	// Metrics receives the bus counters (calls, resends, drops, errors)
+	// and the call-latency histogram; nil disables them at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // DefaultBusConfig returns a lossless, low-latency configuration.
@@ -80,6 +87,15 @@ func DefaultBusConfig() BusConfig {
 type Bus struct {
 	cfg BusConfig
 	clk clock.Clock
+	tr  telemetry.Tracer
+
+	// Instruments are resolved once at construction; all are nil-safe, so
+	// an uninstrumented bus pays nothing on the call path.
+	mCalls      *telemetry.Counter
+	mResends    *telemetry.Counter
+	mDrops      *telemetry.Counter
+	mCallErrors *telemetry.Counter
+	mLatency    *telemetry.Histogram
 
 	// ctx is the bus lifecycle: Close cancels it, aborting in-flight
 	// latency sleeps and pending calls. wg tracks delivery goroutines so
@@ -112,12 +128,18 @@ func NewBus(cfg BusConfig) *Bus {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Bus{
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		ctx:       ctx,
-		cancel:    cancel,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		endpoints: make(map[string]*Endpoint),
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		tr:          telemetry.OrNop(cfg.Tracer),
+		mCalls:      cfg.Metrics.Counter("transport_calls_total"),
+		mResends:    cfg.Metrics.Counter("transport_resends_total"),
+		mDrops:      cfg.Metrics.Counter("transport_drops_total"),
+		mCallErrors: cfg.Metrics.Counter("transport_call_errors_total"),
+		mLatency:    cfg.Metrics.Histogram("transport_call_seconds"),
+		ctx:         ctx,
+		cancel:      cancel,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		endpoints:   make(map[string]*Endpoint),
 	}
 }
 
@@ -188,8 +210,12 @@ func (b *Bus) shouldDrop() bool {
 		return false
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.rng.Float64() < b.cfg.DropRate
+	drop := b.rng.Float64() < b.cfg.DropRate
+	b.mu.Unlock()
+	if drop {
+		b.mDrops.Inc()
+	}
+	return drop
 }
 
 func (b *Bus) lookup(name string) (*Endpoint, bool) {
@@ -248,7 +274,7 @@ func (e *Endpoint) Call(to, kind string, payload []byte) ([]byte, error) {
 
 // CallCtx is Call under a caller-supplied context: cancellation aborts the
 // resend loop immediately with ctx.Err(), independent of the ack timeout.
-func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte) ([]byte, error) {
+func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte) (_ []byte, err error) {
 	select {
 	case <-e.closed:
 		return nil, ErrClosed
@@ -259,6 +285,21 @@ func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	b := e.bus
+	b.mCalls.Inc()
+	span := b.tr.StartSpan("transport.call")
+	span.Annotate("from", e.name)
+	span.Annotate("to", to)
+	span.Annotate("kind", kind)
+	callStart := b.clk.Now()
+	defer func() {
+		b.mLatency.Observe(b.clk.Since(callStart).Seconds())
+		if err != nil {
+			b.mCallErrors.Inc()
+			span.Annotate("error", err.Error())
+		}
+		span.End()
+	}()
 	msg := Message{
 		ID:      e.allocID(),
 		From:    e.name,
@@ -290,6 +331,8 @@ func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte)
 			return r.payload, r.err
 		case <-timer.C():
 			// resend (timeout: either the message or its reply was dropped)
+			b.mResends.Inc()
+			span.Event("resend")
 		case <-e.closed:
 			return nil, ErrClosed
 		case <-e.bus.ctx.Done():

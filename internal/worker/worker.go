@@ -26,6 +26,7 @@ import (
 	"github.com/elan-sys/elan/internal/data"
 	"github.com/elan-sys/elan/internal/nn"
 	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/transport"
 )
 
@@ -197,6 +198,17 @@ type FleetConfig struct {
 	// by Start; zero values select the defaults.
 	HeartbeatTTL    time.Duration
 	MonitorInterval time.Duration
+	// Tracer records fleet lifecycle, per-step and adjustment spans; nil
+	// disables tracing at zero cost. A fleet-created bus shares it.
+	Tracer telemetry.Tracer
+	// Metrics receives the fleet's counters and histograms (steps, step
+	// latency, adjustments, dead-worker detections); nil disables them. A
+	// fleet-created bus and the heartbeat monitor share it.
+	Metrics *telemetry.Registry
+	// LinkLabel tags the collective group's allreduce spans with a link
+	// level (topology naming); empty defaults to "inproc", the in-process
+	// goroutine substrate.
+	LinkLabel string
 }
 
 // Fleet is the controller plus its resident agents.
@@ -240,6 +252,15 @@ type Fleet struct {
 	hb     *coord.HeartbeatMonitor
 	deadMu sync.Mutex
 	dead   map[string]bool
+
+	// Telemetry. lifeSpan covers Start..Close; the instruments are nil-safe
+	// so an uninstrumented fleet's step path is allocation-free.
+	tr            telemetry.Tracer
+	lifeSpan      *telemetry.Span
+	mSteps        *telemetry.Counter
+	mStepSeconds  *telemetry.Histogram
+	mAdjustments  *telemetry.Counter
+	mDeadDetected *telemetry.Counter
 }
 
 // NewFleet builds the fleet, the AM and its service, and starts the initial
@@ -264,10 +285,15 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.MonitorInterval <= 0 {
 		cfg.MonitorInterval = DefaultMonitorInterval
 	}
+	if cfg.LinkLabel == "" {
+		cfg.LinkLabel = "inproc"
+	}
 	ownsBus := cfg.Bus == nil
 	if ownsBus {
 		busCfg := transport.DefaultBusConfig()
 		busCfg.Clock = cfg.Clock
+		busCfg.Tracer = cfg.Tracer
+		busCfg.Metrics = cfg.Metrics
 		cfg.Bus = transport.NewBus(busCfg)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -305,22 +331,29 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cancel()
 		return nil, err
 	}
+	hb.Instrument(cfg.Metrics)
 	f := &Fleet{
-		cfg:         cfg,
-		clk:         cfg.Clock,
-		group:       group,
-		loader:      loader,
-		am:          am,
-		coordinator: coordinator,
-		sched:       sched,
-		spawned:     make(map[string]*Agent),
-		lr:          cfg.LR,
-		ctx:         ctx,
-		cancel:      cancel,
-		ownsBus:     ownsBus,
-		hb:          hb,
-		dead:        make(map[string]bool),
+		cfg:           cfg,
+		clk:           cfg.Clock,
+		group:         group,
+		loader:        loader,
+		am:            am,
+		coordinator:   coordinator,
+		sched:         sched,
+		spawned:       make(map[string]*Agent),
+		lr:            cfg.LR,
+		ctx:           ctx,
+		cancel:        cancel,
+		ownsBus:       ownsBus,
+		hb:            hb,
+		dead:          make(map[string]bool),
+		tr:            telemetry.OrNop(cfg.Tracer),
+		mSteps:        cfg.Metrics.Counter("worker_steps_total"),
+		mStepSeconds:  cfg.Metrics.Histogram("worker_step_seconds"),
+		mAdjustments:  cfg.Metrics.Counter("worker_adjustments_total"),
+		mDeadDetected: cfg.Metrics.Counter("worker_dead_detected_total"),
 	}
+	f.group.SetTelemetry(f.tr, cfg.Metrics, cfg.Clock, cfg.LinkLabel)
 	for i := 0; i < cfg.Workers; i++ {
 		a, err := f.spawnAgent()
 		if err != nil {
@@ -348,6 +381,9 @@ func (f *Fleet) Start(ctx context.Context) error {
 		return fmt.Errorf("worker: fleet already started")
 	}
 	f.started = true
+	f.lifeSpan = f.tr.StartSpan("worker.fleet")
+	f.lifeSpan.AnnotateInt("workers", len(f.agents))
+	f.lifeSpan.Event("start")
 	if ctx != nil && ctx.Done() != nil {
 		context.AfterFunc(ctx, f.Close)
 	}
@@ -371,11 +407,19 @@ func (f *Fleet) monitorLoop() {
 			if len(expired) == 0 {
 				continue
 			}
+			newDead := 0
 			f.deadMu.Lock()
 			for _, w := range expired {
+				if !f.dead[w] {
+					newDead++
+				}
 				f.dead[w] = true
 			}
 			f.deadMu.Unlock()
+			if newDead > 0 {
+				f.mDeadDetected.Add(int64(newDead))
+				f.lifeSpan.Event("dead-worker-detected")
+			}
 		}
 	}
 }
@@ -485,14 +529,29 @@ func (f *Fleet) RequestScaleIn(n int) error {
 func (f *Fleet) Step() (float64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	span := f.tr.StartSpan("worker.step")
+	span.AnnotateInt("iter", f.iter)
+	stepStart := f.clk.Now()
+	defer func() {
+		f.mStepSeconds.Observe(f.clk.Since(stepStart).Seconds())
+		span.End()
+	}()
 	adj, ok, err := f.coordinator.Coordinate()
 	if err != nil {
 		return 0, err
 	}
 	if ok {
-		if err := f.applyAdjustment(adj); err != nil {
+		aspan := span.Child("worker.apply_adjustment")
+		aspan.Annotate("kind", adj.Kind.String())
+		err := f.applyAdjustment(adj)
+		if err != nil {
+			aspan.Annotate("error", err.Error())
+		}
+		aspan.End()
+		if err != nil {
 			return 0, err
 		}
+		f.mAdjustments.Inc()
 	}
 	lr := f.currentLR()
 	n := len(f.agents)
@@ -538,6 +597,8 @@ func (f *Fleet) Step() (float64, error) {
 		f.hb.Beat(a.Name)
 	}
 	f.iter++
+	f.mSteps.Inc()
+	span.AnnotateInt("workers", n)
 	return loss / float64(n), nil
 }
 
@@ -592,6 +653,7 @@ func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
 	if err != nil {
 		return err
 	}
+	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
 	f.group = group
 	return nil
 }
@@ -708,6 +770,9 @@ func (f *Fleet) Close() {
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
+	// The monitor has exited; the lifecycle span is single-owner again.
+	f.lifeSpan.Event("stop")
+	f.lifeSpan.End()
 	if f.ownsBus {
 		f.cfg.Bus.Close()
 	}
