@@ -11,6 +11,12 @@
 // Schedule entries are iteration:action with actions out<N> (scale out by
 // N), in<N> (scale in by N), batch<B> (set total batch to B with the
 // progressive LR ramp).
+//
+// With -chaos the command instead replays a seeded randomized fault
+// schedule (worker crashes/restarts, AM crash + recovery, partitions, drop
+// bursts, stragglers) against a worker fleet on virtual time and prints the
+// deterministic fault-event log ("fault " lines are byte-identical across
+// runs with the same -chaos-seed) plus a convergence summary.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"syscall"
 
 	elan "github.com/elan-sys/elan"
+	"github.com/elan-sys/elan/internal/chaos"
 )
 
 type action struct {
@@ -83,6 +90,10 @@ type options struct {
 	schedule  string
 	traceOut  string // Chrome trace-event JSON output path ("" = off)
 	debugAddr string // /metrics + /healthz listen address ("" = off)
+
+	chaos       bool  // run the chaos harness instead of a training schedule
+	chaosSeed   int64 // fault-schedule seed (not the model seed)
+	chaosFaults int   // approximate number of faults to inject
 }
 
 func main() {
@@ -97,15 +108,66 @@ func main() {
 		"write a Chrome trace-event JSON file (load in Perfetto) covering the run")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "",
 		"serve /metrics (Prometheus text) and /healthz on this address, e.g. localhost:9090")
+	flag.BoolVar(&opts.chaos, "chaos", false,
+		"replay a seeded fault schedule against a worker fleet instead of training")
+	flag.Int64Var(&opts.chaosSeed, "chaos-seed", 1, "fault schedule seed (chaos mode)")
+	flag.IntVar(&opts.chaosFaults, "chaos-faults", 40, "approximate fault count (chaos mode)")
 	flag.Parse()
 	// Ctrl-C cancels the run context: an adjustment in flight unwinds
 	// cleanly instead of being killed halfway.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Stdout, opts); err != nil {
+	runFn := run
+	if opts.chaos {
+		runFn = runChaos
+	}
+	if err := runFn(ctx, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "elan-live:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos replays a seeded randomized fault schedule on virtual time. The
+// "fault " lines are the deterministic artifact: byte-identical across runs
+// with the same -chaos-seed and -chaos-faults. The summary line reflects
+// runtime outcomes and may vary.
+func runChaos(ctx context.Context, w io.Writer, opts options) error {
+	sched := chaos.RandomSchedule(opts.chaosSeed, opts.chaosFaults, 4)
+	h, err := chaos.New(chaos.Config{Schedule: sched, Seed: opts.seed})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	total := sched.Iters()
+	fmt.Fprintf(w, "chaos: seed=%d faults=%d iters=%d workers=4 tbs=24\n",
+		opts.chaosSeed, len(sched.Faults), total)
+	for done := 0; done < total; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted at iteration %d: %w", done, err)
+		}
+		n := total - done
+		if n > 25 {
+			n = 25
+		}
+		if err := h.Run(n); err != nil {
+			return err
+		}
+		done += n
+	}
+	for _, line := range strings.Split(strings.TrimRight(chaos.FormatEvents(h.Events()), "\n"), "\n") {
+		fmt.Fprintf(w, "fault %s\n", line)
+	}
+	rep := h.Report()
+	fmt.Fprintf(w, "chaos: iterations=%d final-workers=%d consistent=%v loss=%.3f events=%d fault-errors=%d am-down=%v\n",
+		rep.Iterations, rep.FinalWorkers, rep.Consistent, rep.FinalLoss,
+		rep.Events, len(rep.FaultErrors), rep.AMDown)
+	if len(rep.FaultErrors) > 0 {
+		return fmt.Errorf("%d faults failed to apply, first: %s", len(rep.FaultErrors), rep.FaultErrors[0])
+	}
+	if !rep.Consistent {
+		return fmt.Errorf("replicas inconsistent after chaos run")
+	}
+	return nil
 }
 
 func run(ctx context.Context, w io.Writer, opts options) error {

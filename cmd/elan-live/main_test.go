@@ -131,6 +131,37 @@ func TestRunTraceOut(t *testing.T) {
 	}
 }
 
+// TestRunChaosDeterministic runs chaos mode twice with the same seed and
+// checks the acceptance contract: both runs converge and their "fault "
+// event lines are byte-identical.
+func TestRunChaosDeterministic(t *testing.T) {
+	faultLines := func() (string, string) {
+		var b strings.Builder
+		opts := options{seed: 7, chaos: true, chaosSeed: 99, chaosFaults: 20}
+		if err := runChaos(context.Background(), &b, opts); err != nil {
+			t.Fatalf("runChaos: %v\n%s", err, b.String())
+		}
+		var faults []string
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, "fault ") {
+				faults = append(faults, line)
+			}
+		}
+		if len(faults) < 20 {
+			t.Fatalf("only %d fault lines:\n%s", len(faults), b.String())
+		}
+		return strings.Join(faults, "\n"), b.String()
+	}
+	run1, out := faultLines()
+	run2, _ := faultLines()
+	if run1 != run2 {
+		t.Fatalf("fault logs differ across same-seed runs:\n%s\nvs:\n%s", run1, run2)
+	}
+	if !strings.Contains(out, "consistent=true") {
+		t.Fatalf("chaos run did not converge:\n%s", out)
+	}
+}
+
 func FuzzParseSchedule(f *testing.F) {
 	f.Add("200:out2,400:batch128")
 	f.Add("1:in1")

@@ -1,0 +1,200 @@
+// Package chaos is a deterministic fault-injection harness for the elastic
+// runtime, in the spirit of FoundationDB-style simulation testing: faults
+// (worker crash/restart, AM crash and CAS-fenced recovery, network
+// partitions, message-drop bursts, straggler latency) are expressed as a
+// Schedule keyed by fleet iteration and replayed on virtual time
+// (clock.Sim), so a run is cheap, aggressive and reproducible.
+//
+// Determinism contract: the fault-event log (Events/FormatEvents) is a pure
+// function of the Schedule — two runs with the same schedule produce
+// byte-identical logs. Runtime outcomes (losses, admission timing, how many
+// coordination rounds were skipped) depend on goroutine interleaving and
+// live in the Report instead.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates injectable fault kinds.
+type Kind int
+
+const (
+	// WorkerCrash abruptly kills an active worker agent.
+	WorkerCrash Kind = iota + 1
+	// WorkerRestart rejoins a previously crashed worker under its old name.
+	WorkerRestart
+	// AMCrash kills the application master; its persisted state survives.
+	AMCrash
+	// AMRecover starts a successor AM that re-reads the state machine from
+	// the store and fences the dead incarnation via CAS.
+	AMRecover
+	// Partition cuts all links between two named endpoint sets for Dur
+	// iterations.
+	Partition
+	// DropBurst drops each message with probability Rate for Dur iterations.
+	DropBurst
+	// SlowLink adds Delay to every message to or from Target for Dur
+	// iterations (a straggler).
+	SlowLink
+)
+
+// String returns the stable log token for the kind.
+func (k Kind) String() string {
+	switch k {
+	case WorkerCrash:
+		return "worker.crash"
+	case WorkerRestart:
+		return "worker.restart"
+	case AMCrash:
+		return "am.crash"
+	case AMRecover:
+		return "am.recover"
+	case Partition:
+		return "net.partition"
+	case DropBurst:
+		return "net.drop"
+	case SlowLink:
+		return "net.slow"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. It fires just before the fleet iteration
+// Iter executes. Which fields matter depends on Kind.
+type Fault struct {
+	Iter   int
+	Kind   Kind
+	Target string        // WorkerCrash/WorkerRestart/SlowLink
+	A, B   []string      // Partition sides
+	Dur    int           // Partition/DropBurst/SlowLink: iterations the condition lasts
+	Rate   float64       // DropBurst probability
+	Delay  time.Duration // SlowLink added latency
+}
+
+// Schedule is a deterministic fault plan.
+type Schedule struct {
+	Seed   int64
+	Faults []Fault // sorted by Iter; stable order within an iteration
+}
+
+// Iters returns the iteration count needed to play the whole schedule,
+// including the tail of the last timed window, plus a little slack.
+func (s Schedule) Iters() int {
+	end := 0
+	for _, f := range s.Faults {
+		e := f.Iter + 1 + f.Dur
+		if e > end {
+			end = e
+		}
+	}
+	return end + 2
+}
+
+// Event is one entry of the deterministic fault-event log.
+type Event struct {
+	Iter   int
+	Detail string // stable "kind key=value ..." text
+}
+
+// FormatEvents renders events as one stable text line each — the artifact
+// that must be byte-identical across runs with the same schedule.
+func FormatEvents(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "iter=%04d %s\n", e.Iter, e.Detail)
+	}
+	return b.String()
+}
+
+// RandomSchedule generates a seeded schedule of approximately targetEvents
+// faults against a fleet of workers agents named agent-0..agent-(n-1). The
+// generator maintains its own applicability model — at least two workers
+// stay alive, restarts only target crashed workers, AM crash/recover
+// alternate, and network windows do not overlap — so every generated fault
+// is applicable when it fires. The result is a pure function of the inputs.
+func RandomSchedule(seed int64, targetEvents, workers int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var faults []Fault
+	crashed := make(map[string]bool)
+	alive := workers
+	amDown := false
+	netBusyUntil := 0
+	slowBusyUntil := 0
+	endpoints := []string{"fleet-lead", "fleet-sched", "fleet-am"}
+
+	for it := 1; len(faults) < targetEvents; it++ {
+		if rng.Float64() > 0.5 {
+			continue // quiet iteration
+		}
+		var applicable []Kind
+		if alive > 2 {
+			applicable = append(applicable, WorkerCrash)
+		}
+		if len(crashed) > 0 {
+			applicable = append(applicable, WorkerRestart)
+		}
+		if amDown {
+			applicable = append(applicable, AMRecover)
+		} else {
+			applicable = append(applicable, AMCrash)
+		}
+		if it >= netBusyUntil {
+			applicable = append(applicable, Partition, DropBurst)
+		}
+		if it >= slowBusyUntil {
+			applicable = append(applicable, SlowLink)
+		}
+		k := applicable[rng.Intn(len(applicable))]
+		f := Fault{Iter: it, Kind: k}
+		switch k {
+		case WorkerCrash:
+			// Pick a live worker deterministically: candidates sorted.
+			var cands []string
+			for i := 0; i < workers; i++ {
+				name := fmt.Sprintf("agent-%d", i)
+				if !crashed[name] {
+					cands = append(cands, name)
+				}
+			}
+			sort.Strings(cands)
+			f.Target = cands[rng.Intn(len(cands))]
+			crashed[f.Target] = true
+			alive--
+		case WorkerRestart:
+			var cands []string
+			for name := range crashed {
+				cands = append(cands, name)
+			}
+			sort.Strings(cands)
+			f.Target = cands[rng.Intn(len(cands))]
+			delete(crashed, f.Target)
+			alive++
+		case AMCrash:
+			amDown = true
+		case AMRecover:
+			amDown = false
+		case Partition:
+			f.A = []string{"fleet-lead"}
+			f.B = []string{"fleet-am"}
+			f.Dur = 1 + rng.Intn(3)
+			netBusyUntil = it + f.Dur + 1
+		case DropBurst:
+			f.Rate = 0.2 + 0.3*rng.Float64()
+			f.Dur = 1 + rng.Intn(3)
+			netBusyUntil = it + f.Dur + 1
+		case SlowLink:
+			f.Target = endpoints[rng.Intn(len(endpoints))]
+			f.Delay = time.Duration(1+rng.Intn(5)) * time.Millisecond
+			f.Dur = 1 + rng.Intn(3)
+			slowBusyUntil = it + f.Dur + 1
+		}
+		faults = append(faults, f)
+	}
+	return Schedule{Seed: seed, Faults: faults}
+}

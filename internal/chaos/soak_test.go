@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// soak plays a randomized schedule to completion and returns the formatted
+// event log and report.
+func soak(t *testing.T, sched Schedule) (string, Report) {
+	t.Helper()
+	h, err := New(Config{Schedule: sched})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer h.Close()
+	if err := h.Run(sched.Iters()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return FormatEvents(h.Events()), h.Report()
+}
+
+// TestChaosSoak500 replays a seeded 500-fault randomized schedule against a
+// 4-worker fleet: the job must converge (replicas consistent, loss finite,
+// at least the generator's floor of workers alive), every generated fault
+// must be applicable when it fires, and no goroutines may leak. A second
+// run with the same seed must produce a byte-identical fault-event log.
+func TestChaosSoak500(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	guardGoroutines(t)
+	const seed, faults, workers = 20260806, 500, 4
+	sched := RandomSchedule(seed, faults, workers)
+	if len(sched.Faults) < faults {
+		t.Fatalf("schedule has %d faults, want >= %d", len(sched.Faults), faults)
+	}
+
+	log1, rep := soak(t, sched)
+	if len(rep.FaultErrors) != 0 {
+		t.Fatalf("%d inapplicable faults, first: %s", len(rep.FaultErrors), rep.FaultErrors[0])
+	}
+	if !rep.Consistent {
+		t.Fatal("replicas diverged during soak")
+	}
+	if rep.FinalWorkers < 2 {
+		t.Fatalf("FinalWorkers = %d, want >= 2 (generator floor)", rep.FinalWorkers)
+	}
+	if math.IsNaN(rep.FinalLoss) || math.IsInf(rep.FinalLoss, 0) {
+		t.Fatalf("FinalLoss = %v", rep.FinalLoss)
+	}
+	if rep.Events < faults {
+		t.Fatalf("logged %d events, want >= %d", rep.Events, faults)
+	}
+
+	log2, _ := soak(t, sched)
+	if log1 != log2 {
+		t.Fatal("fault-event logs differ across runs with the same seed")
+	}
+}

@@ -24,7 +24,7 @@ func TestRuntimePackagesUseInjectedClock(t *testing.T) {
 		"NewTimer": true, "NewTicker": true, "Tick": true, "Since": true,
 	}
 	var violations []string
-	for _, dir := range []string{"../transport", "../coord", "../worker", "../telemetry"} {
+	for _, dir := range []string{"../transport", "../coord", "../worker", "../telemetry", "../chaos"} {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatalf("ReadDir %s: %v", dir, err)

@@ -77,6 +77,7 @@ func (s *Store) putLocked(key string, value []byte) int64 {
 	return e.Version
 }
 
+
 // CAS stores value under key only if the current version equals expected
 // (use 0 for "key must not exist"). It returns the new version.
 func (s *Store) CAS(key string, expected int64, value []byte) (int64, error) {
@@ -108,10 +109,12 @@ func (s *Store) Delete(key string) error {
 }
 
 // Watch subscribes to changes of key. The returned cancel function must be
-// called to release the watcher. Events are delivered asynchronously on a
+// called to release the watcher; it closes the channel, so a consumer
+// ranging over it terminates. Events are delivered asynchronously on a
 // buffered channel; a slow consumer loses the oldest events (the channel is
 // a conflating buffer of size 16), which is acceptable because consumers
-// re-read the current state with Get after waking.
+// re-read the current state with Get after waking. Each event carries its
+// own copy of the value, so watchers may mutate it freely.
 func (s *Store) Watch(key string) (<-chan Event, func()) {
 	ch := make(chan Event, 16)
 	s.mu.Lock()
@@ -124,6 +127,11 @@ func (s *Store) Watch(key string) (<-chan Event, func()) {
 		for i, w := range ws {
 			if w == ch {
 				s.watchers[key] = append(ws[:i], ws[i+1:]...)
+				// Closing under s.mu makes cancel idempotent (the second
+				// call no longer finds ch in the map) and cannot race
+				// notifyLocked, which only sends to registered channels
+				// under the same lock.
+				close(ch)
 				break
 			}
 		}
@@ -133,8 +141,15 @@ func (s *Store) Watch(key string) (<-chan Event, func()) {
 
 func (s *Store) notifyLocked(ev Event) {
 	for _, ch := range s.watchers[ev.Key] {
+		// Each watcher gets a private copy of the value; aliasing the
+		// stored slice lets a mutating consumer corrupt the entry that
+		// Get serves to everyone else.
+		evCopy := ev
+		if ev.Value != nil {
+			evCopy.Value = append([]byte(nil), ev.Value...)
+		}
 		select {
-		case ch <- ev:
+		case ch <- evCopy:
 		default:
 			// Drop oldest, then insert: keeps the newest event visible.
 			select {
@@ -142,7 +157,7 @@ func (s *Store) notifyLocked(ev Event) {
 			default:
 			}
 			select {
-			case ch <- ev:
+			case ch <- evCopy:
 			default:
 			}
 		}

@@ -152,6 +152,60 @@ func TestWatchCancel(t *testing.T) {
 	}
 }
 
+func TestWatchEventValueIsPrivateCopy(t *testing.T) {
+	// A watcher mutating the event value must not corrupt the stored entry
+	// or a sibling watcher's view. Before the fix, putLocked handed the
+	// same backing slice to s.data and every watcher event.
+	s := New()
+	ch1, cancel1 := s.Watch("k")
+	defer cancel1()
+	ch2, cancel2 := s.Watch("k")
+	defer cancel2()
+	s.Put("k", []byte("abc"))
+	ev1 := <-ch1
+	ev1.Value[0] = 'X'
+	e, err := s.Get("k")
+	if err != nil || string(e.Value) != "abc" {
+		t.Fatalf("stored entry corrupted by watcher: %q, %v", e.Value, err)
+	}
+	ev2 := <-ch2
+	if string(ev2.Value) != "abc" {
+		t.Fatalf("sibling watcher saw mutation: %q", ev2.Value)
+	}
+}
+
+func TestWatchRangeTerminatesAfterCancel(t *testing.T) {
+	// A consumer ranging over the watch channel must unblock when the watch
+	// is cancelled. Before the fix, cancel only removed the channel from
+	// the registry and the range below blocked forever.
+	s := New()
+	ch, cancel := s.Watch("k")
+	s.Put("k", []byte("a"))
+	s.Put("k", []byte("b"))
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range ch {
+			n++
+		}
+		done <- n
+	}()
+	// Let the consumer drain, then cancel; the range loop must exit.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case n := <-done:
+		if n != 2 {
+			t.Fatalf("consumer saw %d events, want 2", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("range over cancelled watch never terminated")
+	}
+	// Cancel is idempotent and post-cancel puts don't panic.
+	cancel()
+	s.Put("k", []byte("c"))
+}
+
 func TestWatchSlowConsumerKeepsNewest(t *testing.T) {
 	s := New()
 	ch, cancel := s.Watch("k")

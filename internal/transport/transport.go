@@ -1,10 +1,16 @@
 // Package transport provides the reliable messaging layer between the
 // application master and workers — the stand-in for the paper's ZeroMQ
-// sockets (Section V-D). Every message carries a unique ID; senders resend
-// on ack timeout and receivers deduplicate by ID, so delivery is
-// exactly-once at the handler as long as the peer eventually responds. An
-// in-process Bus with configurable drop rate and latency lets tests inject
-// message loss; a separate TCP server/client pair (rpc.go) demonstrates the
+// sockets (Section V-D). Every message carries a unique ID plus the
+// sender's endpoint incarnation; senders resend on ack timeout and
+// receivers deduplicate by (incarnation, ID), so delivery is exactly-once
+// at the handler as long as the peer eventually responds. The incarnation
+// number survives endpoint removal: a crash-restarted sender starts a new
+// incarnation instead of reusing low message IDs that the receiver's dedup
+// state would silently swallow, and a zombie sender from a fenced
+// incarnation is rejected with ErrStaleIncarnation. An in-process Bus with
+// configurable drop rate, latency, and a pluggable fault hook (partition /
+// drop-burst / straggler injection, see internal/chaos) lets tests inject
+// failures; a separate TCP server/client pair (rpc.go) demonstrates the
 // same protocol over a real network connection.
 package transport
 
@@ -25,6 +31,10 @@ var (
 	ErrNoEndpoint = errors.New("transport: no such endpoint")
 	ErrTimeout    = errors.New("transport: send timed out after all retries")
 	ErrClosed     = errors.New("transport: endpoint closed")
+	// ErrStaleIncarnation is replied to a sender whose endpoint incarnation
+	// is older than one the receiver has already heard from — a zombie that
+	// was replaced by a restarted instance must stop, not be silently acked.
+	ErrStaleIncarnation = errors.New("transport: message from stale sender incarnation")
 )
 
 // Package-level defaults, referenced everywhere a config value is missing
@@ -38,14 +48,34 @@ const (
 )
 
 // Message is the unit of communication. Payloads are opaque bytes; Kind
-// routes them at the receiver.
+// routes them at the receiver. Inc is the sender endpoint's incarnation:
+// message IDs are only monotonic within one incarnation, so receivers key
+// their dedup state on (From, Inc) and reset it when a restarted sender
+// shows up with a higher incarnation.
 type Message struct {
 	ID      uint64 `json:"id"`
+	Inc     uint64 `json:"inc"`
 	From    string `json:"from"`
 	To      string `json:"to"`
 	Kind    string `json:"kind"`
 	Payload []byte `json:"payload"`
 }
+
+// Fate is a fault hook's verdict on one delivery leg.
+type Fate struct {
+	// Drop loses this leg; the sender's resend protocol recovers (or times
+	// out) exactly as for a random drop.
+	Drop bool
+	// Delay adds straggler latency to this leg on top of the bus's
+	// configured Latency.
+	Delay time.Duration
+}
+
+// FaultHook inspects a delivery leg and decides its fate. It is consulted
+// once for the request leg (msg as sent) and once for the reply leg (From
+// and To swapped), so symmetric partitions need no special casing. Hooks
+// run on delivery goroutines and must be safe for concurrent use.
+type FaultHook func(m Message) Fate
 
 // Handler processes an inbound message and optionally returns a reply
 // payload (delivered to the sender's Call, if any).
@@ -107,6 +137,11 @@ type Bus struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
 	endpoints map[string]*Endpoint
+	// incarnations counts endpoint creations per name. Unlike the endpoint
+	// map it survives Remove, so a re-created endpoint (a restarted worker
+	// or AM) sends under a strictly higher incarnation.
+	incarnations map[string]uint64
+	hook         FaultHook
 }
 
 // NewBus constructs a bus. Invalid config values are normalized.
@@ -138,9 +173,35 @@ func NewBus(cfg BusConfig) *Bus {
 		mLatency:    cfg.Metrics.Histogram("transport_call_seconds"),
 		ctx:         ctx,
 		cancel:      cancel,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		endpoints:   make(map[string]*Endpoint),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		endpoints:    make(map[string]*Endpoint),
+		incarnations: make(map[string]uint64),
 	}
+}
+
+// SetFaultHook installs (or, with nil, clears) the hook consulted on every
+// delivery leg. Chaos harnesses use it to inject partitions, drop bursts
+// and straggler latency without reconfiguring the bus.
+func (b *Bus) SetFaultHook(h FaultHook) {
+	b.mu.Lock()
+	b.hook = h
+	b.mu.Unlock()
+}
+
+// fate consults the fault hook for one delivery leg; a nil hook lets
+// everything through untouched.
+func (b *Bus) fate(m Message) Fate {
+	b.mu.Lock()
+	h := b.hook
+	b.mu.Unlock()
+	if h == nil {
+		return Fate{}
+	}
+	f := h(m)
+	if f.Drop {
+		b.mDrops.Inc()
+	}
+	return f
 }
 
 // Clock returns the bus's time source.
@@ -178,12 +239,16 @@ func (b *Bus) Endpoint(name string, h Handler) (*Endpoint, error) {
 		ep.mu.Unlock()
 		return ep, nil
 	}
+	b.incarnations[name]++
 	ep := &Endpoint{
 		name:      name,
 		bus:       b,
+		inc:       b.incarnations[name],
 		handler:   h,
 		seen:      make(map[string]uint64),
+		peerInc:   make(map[string]uint64),
 		lastReply: make(map[string]reply),
+		inflight:  make(map[string]*inflightCall),
 		replies:   make(map[uint64]chan reply),
 		closed:    make(chan struct{}),
 	}
@@ -230,21 +295,40 @@ type reply struct {
 	err     error
 }
 
+// inflightCall tracks a message whose handler is still executing, so a
+// duplicate delivery (a resend racing the slow handler) waits for the
+// genuine reply instead of returning the previous message's cached one.
+type inflightCall struct {
+	id   uint64
+	inc  uint64
+	done chan struct{}
+	r    reply // valid once done is closed
+}
+
 // Endpoint is a named participant on a bus.
 type Endpoint struct {
 	name string
 	bus  *Bus
+	// inc is this endpoint's incarnation, stamped on every message it
+	// sends; assigned once at creation from the bus's per-name counter.
+	inc uint64
 
 	mu      sync.Mutex
 	handler Handler
 	nextID  uint64
 	// seen[from] is the highest processed message ID from that sender used
-	// for dedup; senders allocate IDs monotonically.
+	// for dedup; senders allocate IDs monotonically within an incarnation.
 	seen map[string]uint64
+	// peerInc[from] is the highest sender incarnation heard from; a higher
+	// one resets the dedup state, a lower one is a fenced zombie.
+	peerInc map[string]uint64
 	// lastReply[from] caches the reply to the highest processed message so
 	// that a resend (after a dropped reply) still returns the real result.
 	lastReply map[string]reply
-	replies   map[uint64]chan reply
+	// inflight[from] is the latest message from that sender whose handler
+	// has not returned yet.
+	inflight map[string]*inflightCall
+	replies  map[uint64]chan reply
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -252,6 +336,11 @@ type Endpoint struct {
 
 // Name returns the endpoint's bus name.
 func (e *Endpoint) Name() string { return e.name }
+
+// Incarnation returns the endpoint's incarnation number: 1 for the first
+// endpoint created under a name, and one higher for each re-creation after
+// a Remove (a restarted process).
+func (e *Endpoint) Incarnation() uint64 { return e.inc }
 
 func (e *Endpoint) close() {
 	e.closeOnce.Do(func() { close(e.closed) })
@@ -302,6 +391,7 @@ func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte)
 	}()
 	msg := Message{
 		ID:      e.allocID(),
+		Inc:     e.inc,
 		From:    e.name,
 		To:      to,
 		Kind:    kind,
@@ -344,11 +434,16 @@ func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte)
 	return nil, fmt.Errorf("%w (to=%s kind=%s id=%d)", ErrTimeout, to, kind, msg.ID)
 }
 
-// deliver attempts one delivery of msg (possibly dropped). The receiver's
-// handler runs on a fresh bus-tracked goroutine; its reply is routed back
-// to the pending Call, also subject to drops.
+// deliver attempts one delivery of msg (possibly dropped by the configured
+// rate or the fault hook). The receiver's handler runs on a fresh
+// bus-tracked goroutine; its reply is routed back to the pending Call, also
+// subject to drops and fault injection.
 func (e *Endpoint) deliver(msg Message) {
 	if e.bus.shouldDrop() {
+		return
+	}
+	fate := e.bus.fate(msg)
+	if fate.Drop {
 		return
 	}
 	dst, ok := e.bus.lookup(msg.To)
@@ -361,8 +456,8 @@ func (e *Endpoint) deliver(msg Message) {
 	e.bus.wg.Add(1)
 	go func() {
 		defer e.bus.wg.Done()
-		if e.bus.cfg.Latency > 0 {
-			if e.bus.clk.Sleep(e.bus.ctx, e.bus.cfg.Latency) != nil {
+		if d := e.bus.cfg.Latency + fate.Delay; d > 0 {
+			if e.bus.clk.Sleep(e.bus.ctx, d) != nil {
 				return // bus closed mid-flight
 			}
 		}
@@ -370,8 +465,14 @@ func (e *Endpoint) deliver(msg Message) {
 		if e.bus.shouldDrop() {
 			return // the reply got lost; sender will resend
 		}
-		if e.bus.cfg.Latency > 0 {
-			if e.bus.clk.Sleep(e.bus.ctx, e.bus.cfg.Latency) != nil {
+		back := msg
+		back.From, back.To = msg.To, msg.From
+		backFate := e.bus.fate(back)
+		if backFate.Drop {
+			return
+		}
+		if d := e.bus.cfg.Latency + backFate.Delay; d > 0 {
+			if e.bus.clk.Sleep(e.bus.ctx, d) != nil {
 				return
 			}
 		}
@@ -391,10 +492,16 @@ func (e *Endpoint) routeReply(id uint64, r reply) {
 	}
 }
 
-// handle runs the endpoint handler exactly once per message ID: duplicate
-// deliveries of the most recent message (resends after a dropped reply)
-// return the cached reply; older duplicates are acknowledged with an empty
-// payload. Handlers therefore see each logical message once.
+// handle runs the endpoint handler exactly once per (incarnation, ID):
+// duplicate deliveries of the most recent message either wait for the
+// in-flight handler's genuine reply (a resend racing a slow handler) or
+// return the cached reply (a resend after a dropped reply); older
+// duplicates are acknowledged with an empty payload. A message from a
+// higher sender incarnation resets the sender's dedup state — a restarted
+// sender restarts its ID sequence and must not be blackholed by the dead
+// incarnation's high-water mark — while a lower incarnation is a fenced
+// zombie and gets ErrStaleIncarnation. Handlers therefore see each logical
+// message once.
 func (e *Endpoint) handle(msg Message) ([]byte, error) {
 	e.mu.Lock()
 	select {
@@ -403,27 +510,57 @@ func (e *Endpoint) handle(msg Message) ([]byte, error) {
 		return nil, ErrClosed
 	default:
 	}
+	cur := e.peerInc[msg.From]
+	if msg.Inc < cur {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s sent incarnation %d, current is %d",
+			ErrStaleIncarnation, msg.From, msg.Inc, cur)
+	}
+	if msg.Inc > cur {
+		e.peerInc[msg.From] = msg.Inc
+		delete(e.seen, msg.From)
+		delete(e.lastReply, msg.From)
+		// An in-flight handler from the dead incarnation may still finish;
+		// its completion guard below sees the incarnation moved on and
+		// skips the cache.
+		delete(e.inflight, msg.From)
+	}
 	last := e.seen[msg.From]
 	if msg.ID <= last {
-		var cached reply
 		if msg.ID == last {
-			cached = e.lastReply[msg.From]
+			if inf := e.inflight[msg.From]; inf != nil && inf.id == msg.ID && inf.inc == msg.Inc {
+				e.mu.Unlock()
+				select {
+				case <-inf.done:
+					return inf.r.payload, inf.r.err
+				case <-e.closed:
+					return nil, ErrClosed
+				}
+			}
+			cached := e.lastReply[msg.From]
+			e.mu.Unlock()
+			return cached.payload, cached.err
 		}
-		e.mu.Unlock()
-		return cached.payload, cached.err
-	}
-	e.seen[msg.From] = msg.ID
-	h := e.handler
-	e.mu.Unlock()
-	if h == nil {
-		e.mu.Lock()
-		e.lastReply[msg.From] = reply{}
 		e.mu.Unlock()
 		return nil, nil
 	}
-	payload, err := h(msg)
+	e.seen[msg.From] = msg.ID
+	inf := &inflightCall{id: msg.ID, inc: msg.Inc, done: make(chan struct{})}
+	e.inflight[msg.From] = inf
+	h := e.handler
+	e.mu.Unlock()
+	var payload []byte
+	var err error
+	if h != nil {
+		payload, err = h(msg)
+	}
 	e.mu.Lock()
-	if e.seen[msg.From] == msg.ID {
+	inf.r = reply{payload: payload, err: err}
+	close(inf.done)
+	if e.inflight[msg.From] == inf {
+		delete(e.inflight, msg.From)
+	}
+	if e.peerInc[msg.From] == msg.Inc && e.seen[msg.From] == msg.ID {
 		e.lastReply[msg.From] = reply{payload: payload, err: err}
 	}
 	e.mu.Unlock()

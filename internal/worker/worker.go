@@ -15,6 +15,7 @@ package worker
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -67,6 +68,9 @@ type result struct {
 	err   error
 }
 
+// errAgentDead is returned by send when the target agent was crashed.
+var errAgentDead = errors.New("worker: agent crashed")
+
 // Agent is one resident worker.
 type Agent struct {
 	Name string
@@ -74,6 +78,11 @@ type Agent struct {
 	opt  *nn.SGD
 	box  chan command
 	done chan struct{}
+	// killed is closed by kill() to simulate an abrupt crash: the loop
+	// exits without draining its mailbox and pending sends fail with
+	// errAgentDead instead of blocking.
+	killed   chan struct{}
+	killOnce sync.Once
 }
 
 // newAgent builds an agent with a deterministic replica and starts its
@@ -89,11 +98,12 @@ func newAgent(name string, seed int64, sizes []int, lr, momentum float64, ds *da
 		return nil, err
 	}
 	a := &Agent{
-		Name: name,
-		net:  net,
-		opt:  opt,
-		box:  make(chan command),
-		done: make(chan struct{}),
+		Name:   name,
+		net:    net,
+		opt:    opt,
+		box:    make(chan command),
+		done:   make(chan struct{}),
+		killed: make(chan struct{}),
 	}
 	go a.loop(ds)
 	return a, nil
@@ -102,19 +112,24 @@ func newAgent(name string, seed int64, sizes []int, lr, momentum float64, ds *da
 // loop is the agent's resident goroutine.
 func (a *Agent) loop(ds *data.Dataset) {
 	defer close(a.done)
-	for cmd := range a.box {
-		switch cmd.kind {
-		case stepCmd:
-			cmd.reply <- a.step(ds, cmd)
-		case installCmd:
-			cmd.reply <- result{err: a.install(cmd.state)}
-		case exportCmd:
-			state := a.net.FlattenParams(nil)
-			state = a.opt.FlattenState(state)
-			cmd.reply <- result{state: state}
-		case stopCmd:
-			cmd.reply <- result{}
+	for {
+		select {
+		case <-a.killed:
 			return
+		case cmd := <-a.box:
+			switch cmd.kind {
+			case stepCmd:
+				cmd.reply <- a.step(ds, cmd)
+			case installCmd:
+				cmd.reply <- result{err: a.install(cmd.state)}
+			case exportCmd:
+				state := a.net.FlattenParams(nil)
+				state = a.opt.FlattenState(state)
+				cmd.reply <- result{state: state}
+			case stopCmd:
+				cmd.reply <- result{}
+				return
+			}
 		}
 	}
 }
@@ -164,17 +179,40 @@ func (a *Agent) install(state []float64) error {
 	return a.opt.LoadState(state[n:])
 }
 
-// send issues a command and waits for the result.
+// send issues a command and waits for the result. Sends to a crashed agent
+// fail with errAgentDead instead of blocking forever.
 func (a *Agent) send(cmd command) result {
 	cmd.reply = make(chan result, 1)
-	a.box <- cmd
-	return <-cmd.reply
+	select {
+	case a.box <- cmd:
+	case <-a.killed:
+		return result{err: errAgentDead}
+	}
+	select {
+	case r := <-cmd.reply:
+		return r
+	case <-a.killed:
+		return result{err: errAgentDead}
+	}
 }
 
 // stop terminates the agent's loop.
 func (a *Agent) stop() {
 	a.send(command{kind: stopCmd})
 	<-a.done
+}
+
+// kill simulates an abrupt crash: no drain, no goodbye. Idempotent.
+func (a *Agent) kill() { a.killOnce.Do(func() { close(a.killed) }) }
+
+// alive reports whether the agent has not been killed.
+func (a *Agent) alive() bool {
+	select {
+	case <-a.killed:
+		return false
+	default:
+		return true
+	}
 }
 
 // FleetConfig configures a worker fleet.
@@ -190,6 +228,10 @@ type FleetConfig struct {
 	// nil (tests inject lossy buses). A fleet-created bus is closed by
 	// Close; an injected one is left to its owner.
 	Bus *transport.Bus
+	// Store persists the AM state machine; nil creates a private store.
+	// Injecting one lets tests (and the chaos harness) inspect the
+	// persisted state and drive CAS-fenced AM recovery.
+	Store *store.Store
 	// Clock is the time source for liveness monitoring; nil selects the
 	// wall clock. When the fleet creates its own bus the bus shares this
 	// clock.
@@ -220,7 +262,10 @@ type Fleet struct {
 	agents []*Agent
 	group  *collective.Group
 	loader *data.SerialLoader
+	store  *store.Store
 	am     *coord.AM
+	amSvc  *coord.Service
+	amDown bool
 	// coordinator is the client used by the lead worker; sched is the
 	// scheduler-side client that requests adjustments.
 	coordinator *coord.Client
@@ -255,12 +300,17 @@ type Fleet struct {
 
 	// Telemetry. lifeSpan covers Start..Close; the instruments are nil-safe
 	// so an uninstrumented fleet's step path is allocation-free.
-	tr            telemetry.Tracer
-	lifeSpan      *telemetry.Span
-	mSteps        *telemetry.Counter
-	mStepSeconds  *telemetry.Histogram
-	mAdjustments  *telemetry.Counter
-	mDeadDetected *telemetry.Counter
+	tr             telemetry.Tracer
+	lifeSpan       *telemetry.Span
+	mSteps         *telemetry.Counter
+	mStepSeconds   *telemetry.Histogram
+	mAdjustments   *telemetry.Counter
+	mDeadDetected  *telemetry.Counter
+	mWorkerCrashes *telemetry.Counter
+	mWorkerRejoins *telemetry.Counter
+	mAMCrashes     *telemetry.Counter
+	mAMRecoveries  *telemetry.Counter
+	mCoordSkips    *telemetry.Counter
 }
 
 // NewFleet builds the fleet, the AM and its service, and starts the initial
@@ -296,13 +346,17 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		busCfg.Metrics = cfg.Metrics
 		cfg.Bus = transport.NewBus(busCfg)
 	}
+	if cfg.Store == nil {
+		cfg.Store = store.New()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	am, err := coord.NewAM("fleet", store.New())
+	am, err := coord.NewAM("fleet", cfg.Store)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	if _, err := coord.NewServiceCtx(ctx, am, cfg.Bus, "fleet-am"); err != nil {
+	amSvc, err := coord.NewServiceCtx(ctx, am, cfg.Bus, "fleet-am")
+	if err != nil {
 		cancel()
 		return nil, err
 	}
@@ -333,25 +387,32 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	hb.Instrument(cfg.Metrics)
 	f := &Fleet{
-		cfg:           cfg,
-		clk:           cfg.Clock,
-		group:         group,
-		loader:        loader,
-		am:            am,
-		coordinator:   coordinator,
-		sched:         sched,
-		spawned:       make(map[string]*Agent),
-		lr:            cfg.LR,
-		ctx:           ctx,
-		cancel:        cancel,
-		ownsBus:       ownsBus,
-		hb:            hb,
-		dead:          make(map[string]bool),
-		tr:            telemetry.OrNop(cfg.Tracer),
-		mSteps:        cfg.Metrics.Counter("worker_steps_total"),
-		mStepSeconds:  cfg.Metrics.Histogram("worker_step_seconds"),
-		mAdjustments:  cfg.Metrics.Counter("worker_adjustments_total"),
-		mDeadDetected: cfg.Metrics.Counter("worker_dead_detected_total"),
+		cfg:            cfg,
+		clk:            cfg.Clock,
+		group:          group,
+		loader:         loader,
+		store:          cfg.Store,
+		am:             am,
+		amSvc:          amSvc,
+		coordinator:    coordinator,
+		sched:          sched,
+		spawned:        make(map[string]*Agent),
+		lr:             cfg.LR,
+		ctx:            ctx,
+		cancel:         cancel,
+		ownsBus:        ownsBus,
+		hb:             hb,
+		dead:           make(map[string]bool),
+		tr:             telemetry.OrNop(cfg.Tracer),
+		mSteps:         cfg.Metrics.Counter("worker_steps_total"),
+		mStepSeconds:   cfg.Metrics.Histogram("worker_step_seconds"),
+		mAdjustments:   cfg.Metrics.Counter("worker_adjustments_total"),
+		mDeadDetected:  cfg.Metrics.Counter("worker_dead_detected_total"),
+		mWorkerCrashes: cfg.Metrics.Counter("worker_crashes_total"),
+		mWorkerRejoins: cfg.Metrics.Counter("worker_rejoins_total"),
+		mAMCrashes:     cfg.Metrics.Counter("worker_am_crashes_total"),
+		mAMRecoveries:  cfg.Metrics.Counter("worker_am_recoveries_total"),
+		mCoordSkips:    cfg.Metrics.Counter("worker_coord_skips_total"),
 	}
 	f.group.SetTelemetry(f.tr, cfg.Metrics, cfg.Clock, cfg.LinkLabel)
 	for i := 0; i < cfg.Workers; i++ {
@@ -499,7 +560,20 @@ func (f *Fleet) RequestScaleOut(n int) error {
 			if err != nil {
 				return
 			}
-			_ = cl.ReportReady(name)
+			// Retry until the report lands: the AM may be down (crashed,
+			// recovering) when the agent first comes up, and a report lost
+			// to an outage would leave the adjustment Pending forever.
+			// ErrUnknownWorker is terminal — the adjustment no longer wants
+			// this worker (already admitted or superseded).
+			for {
+				err := cl.ReportReady(name)
+				if err == nil || errors.Is(err, coord.ErrUnknownWorker) {
+					return
+				}
+				if f.clk.Sleep(f.ctx, 50*time.Millisecond) != nil {
+					return // fleet closing
+				}
+			}
 		}(names[i])
 	}
 	return nil
@@ -526,6 +600,12 @@ func (f *Fleet) RequestScaleIn(n int) error {
 // Step runs one training iteration: the lead worker coordinates with the
 // AM first (applying a pending adjustment if one is ready), then all agents
 // execute the iteration concurrently.
+//
+// Step tolerates faults: crashed agents are swept out of the group before
+// dispatch (so a dead rank never wedges the ring collective), and an
+// unreachable AM downgrades coordination to a skip — the fleet keeps
+// training through AM outages and picks up pending adjustments once the AM
+// recovers, per the paper's decoupling of training from coordination.
 func (f *Fleet) Step() (float64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -536,9 +616,19 @@ func (f *Fleet) Step() (float64, error) {
 		f.mStepSeconds.Observe(f.clk.Since(stepStart).Seconds())
 		span.End()
 	}()
+	if err := f.sweepDeadLocked(); err != nil {
+		return 0, err
+	}
 	adj, ok, err := f.coordinator.Coordinate()
 	if err != nil {
-		return 0, err
+		if errors.Is(err, transport.ErrClosed) || f.ctx.Err() != nil {
+			return 0, err
+		}
+		// AM unreachable, timed out, or fenced: coordination is advisory,
+		// so skip it this iteration and train on.
+		f.mCoordSkips.Inc()
+		span.Annotate("coord_skip", err.Error())
+		ok = false
 	}
 	if ok {
 		aspan := span.Child("worker.apply_adjustment")
@@ -656,6 +746,181 @@ func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
 	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
 	f.group = group
 	return nil
+}
+
+// sweepDeadLocked excises crashed agents before dispatch: a killed rank
+// would never join the ring collective and wedge every other rank, so the
+// survivors repartition the loader and rebuild the group without it.
+// Callers hold f.mu.
+func (f *Fleet) sweepDeadLocked() error {
+	live := f.agents[:0:0]
+	for _, a := range f.agents {
+		if a.alive() {
+			live = append(live, a)
+		}
+	}
+	if len(live) == len(f.agents) {
+		return nil
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("worker: all agents crashed")
+	}
+	if f.cfg.TotalBatch%len(live) != 0 {
+		return fmt.Errorf("worker: total batch %d not divisible by %d surviving workers",
+			f.cfg.TotalBatch, len(live))
+	}
+	oldN := len(f.agents)
+	f.agents = live
+	if err := f.loader.Repartition(oldN, len(live)); err != nil {
+		return err
+	}
+	f.group.Close()
+	group, err := collective.NewGroup(len(live))
+	if err != nil {
+		return err
+	}
+	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
+	f.group = group
+	f.lifeSpan.Event("dead-worker-swept")
+	return nil
+}
+
+// CrashWorker abruptly kills the named active agent, as a process crash
+// would: its goroutine exits without draining the mailbox, its bus endpoint
+// (if any) disappears, and nothing is repartitioned until the next Step
+// sweeps it out. Taking the fleet lock serializes the kill with Step, so an
+// agent never dies mid-collective.
+func (f *Fleet) CrashWorker(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range f.agents {
+		if a.Name == name {
+			if !a.alive() {
+				return fmt.Errorf("worker: %q already crashed", name)
+			}
+			a.kill()
+			f.cfg.Bus.Remove(name)
+			f.mWorkerCrashes.Inc()
+			f.lifeSpan.Event("worker-crash")
+			return nil
+		}
+	}
+	return fmt.Errorf("worker: crash target %q is not an active agent", name)
+}
+
+// RejoinWorker restarts a previously crashed worker under its old name: a
+// fresh agent process re-registers on the bus (new incarnation, so its
+// messages are not blackholed by stale dedup state), receives the current
+// replica state from a surviving agent, and is folded back into the group.
+func (f *Fleet) RejoinWorker(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.sweepDeadLocked(); err != nil {
+		return err
+	}
+	for _, a := range f.agents {
+		if a.Name == name {
+			return fmt.Errorf("worker: %q is still active", name)
+		}
+	}
+	if _, ok := f.spawned[name]; ok {
+		return fmt.Errorf("worker: %q is awaiting admission", name)
+	}
+	if f.cfg.TotalBatch%(len(f.agents)+1) != 0 {
+		return fmt.Errorf("worker: total batch %d not divisible by %d workers",
+			f.cfg.TotalBatch, len(f.agents)+1)
+	}
+	a, err := newAgent(name, f.cfg.Seed, f.cfg.LayerSizes, f.lr, f.cfg.Momentum, f.cfg.Dataset)
+	if err != nil {
+		return err
+	}
+	// The restarted process announces itself over the bus; a fresh endpoint
+	// under the old name gets a new incarnation number. The AM state probe
+	// is advisory — rejoin proceeds even if the AM is down right now.
+	if cl, err := coord.NewClientCtx(f.ctx, f.cfg.Bus, name, "fleet-am"); err == nil {
+		_, _ = cl.AMState()
+	}
+	src := f.agents[0].send(command{kind: exportCmd})
+	if src.err != nil {
+		a.stop()
+		return src.err
+	}
+	if r := a.send(command{kind: installCmd, state: src.state}); r.err != nil {
+		a.stop()
+		return r.err
+	}
+	oldN := len(f.agents)
+	f.agents = append(f.agents, a)
+	if err := f.loader.Repartition(oldN, len(f.agents)); err != nil {
+		return err
+	}
+	f.group.Close()
+	group, err := collective.NewGroup(len(f.agents))
+	if err != nil {
+		return err
+	}
+	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
+	f.group = group
+	f.deadMu.Lock()
+	delete(f.dead, name)
+	f.deadMu.Unlock()
+	f.hb.Beat(name)
+	f.mWorkerRejoins.Inc()
+	f.lifeSpan.Event("worker-rejoin")
+	return nil
+}
+
+// CrashAM kills the application master: its service endpoint leaves the bus
+// and coordination calls start failing (Step degrades to skips). The dead
+// incarnation's handle is returned so callers can verify it is fenced off
+// once a successor recovers from the store. The persisted state machine
+// survives in the store.
+func (f *Fleet) CrashAM() (*coord.AM, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.amDown {
+		return nil, fmt.Errorf("worker: AM already down")
+	}
+	f.amSvc.Close()
+	f.amDown = true
+	old := f.am
+	f.am = nil
+	f.mAMCrashes.Inc()
+	f.lifeSpan.Event("am-crash")
+	return old, nil
+}
+
+// RecoverAM starts a successor AM incarnation: it re-reads the persisted
+// state machine from the store and takes over via CAS, fencing the dead
+// incarnation (any write it might still attempt fails with coord.ErrFenced).
+// The service re-registers under the same bus name with a new incarnation.
+func (f *Fleet) RecoverAM() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.amDown {
+		return fmt.Errorf("worker: AM is not down")
+	}
+	am, err := coord.Recover("fleet", f.store)
+	if err != nil {
+		return err
+	}
+	svc, err := coord.NewServiceCtx(f.ctx, am, f.cfg.Bus, "fleet-am")
+	if err != nil {
+		return err
+	}
+	f.am = am
+	f.amSvc = svc
+	f.amDown = false
+	f.mAMRecoveries.Inc()
+	f.lifeSpan.Event("am-recover")
+	return nil
+}
+
+// AMDown reports whether the AM is currently crashed.
+func (f *Fleet) AMDown() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.amDown
 }
 
 // SetTotalBatch changes the fleet's total batch size, ramping the learning
