@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/experiment"
 )
 
@@ -36,6 +37,9 @@ func run(outDir string, quick bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return fmt.Errorf("create %s: %w", outDir, err)
 	}
+	// Report durations are genuinely wall-clock — they time real local
+	// compute — but still flow through the clock substrate.
+	clk := clock.Wall{}
 	var index strings.Builder
 	index.WriteString("# Elan reproduction report\n\n")
 	fmt.Fprintf(&index, "Mode: quick=%v\n\n", quick)
@@ -46,9 +50,9 @@ func run(outDir string, quick bool) error {
 		if err != nil {
 			return fmt.Errorf("create %s: %w", path, err)
 		}
-		start := time.Now()
+		start := clk.Now()
 		runErr := experiment.Run(id, f, quick)
-		dur := time.Since(start).Round(time.Millisecond)
+		dur := clk.Since(start).Round(time.Millisecond)
 		if cerr := f.Close(); cerr != nil && runErr == nil {
 			runErr = cerr
 		}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestWholeTreeClean(t *testing.T) {
+	// The final tree must satisfy every invariant: this is the same run
+	// CI performs, kept under `go test` so a violation fails locally too.
+	if code := run([]string{"../../..."}); code != 0 {
+		t.Fatalf("elan-vet over the module = exit %d, want 0", code)
+	}
+}
+
+func TestFindingsExitNonZero(t *testing.T) {
+	// Pointing directly at analyzer testdata (excluded from ./... walks)
+	// must surface its intentional violations.
+	code := run([]string{"-analyzer", "clockpolicy", "../../internal/analysis/testdata/src/clockpolicy"})
+	if code != 1 {
+		t.Fatalf("elan-vet over violating testdata = exit %d, want 1", code)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-analyzer", "nope", "../../..."}); code != 2 {
+		t.Fatalf("unknown analyzer = exit %d, want 2", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list = exit %d, want 0", code)
+	}
+}

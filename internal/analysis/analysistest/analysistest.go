@@ -1,0 +1,100 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against `// want "regexp"` comment annotations, the same
+// golden-comment convention used by golang.org/x/tools/go/analysis. A want
+// comment asserts that the analyzer reports a diagnostic on that line whose
+// message matches the quoted regular expression; every diagnostic must be
+// wanted and every want must be matched, so tests fail both on false
+// positives and on a disabled or broken analyzer.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the package rooted at root/dir (dir becomes the package's
+// import path, so analyzers with path-based allowlists can be pointed at
+// allowlisted paths) and diffs the analyzer's diagnostics against the
+// package's want annotations.
+func Run(t *testing.T, root, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.LoadPackages(root, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, parseWants(t, pkg.Fset, f)...)
+	}
+	diags := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+
+	for _, d := range diags {
+		if !match(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q (analyzer silent or broken)", w.file, w.line, w.re)
+		}
+	}
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, f *analysis.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pat, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", f.Name, m[1], err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", f.Name, pat, err)
+			}
+			out = append(out, &expectation{
+				file: f.Name,
+				line: fset.Position(c.Pos()).Line,
+				re:   re,
+			})
+		}
+	}
+	return out
+}
+
+func match(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.hit || w.line != d.Pos.Line || w.file != d.Pos.Filename {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

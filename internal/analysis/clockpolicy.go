@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// clockBanned are the time-package functions that read or wait on wall
+// time. time.Duration / time.Time type references and constructors like
+// time.Date remain fine — the contract is about *observing* time, not
+// naming it.
+var clockBanned = map[string]bool{
+	"Sleep": true, "After": true, "AfterFunc": true, "Now": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true, "Since": true,
+	"Until": true,
+}
+
+// clockAllowedPkgs are the only packages that may touch the time package
+// directly: the clock substrate itself and the discrete-event engine it
+// wraps.
+var clockAllowedPkgs = map[string]bool{
+	"internal/clock":    true,
+	"internal/simclock": true,
+}
+
+// ClockPolicy enforces the unified-time invariant across the whole tree:
+// no non-test file outside the clock substrate may read or wait on wall
+// time directly — all timing must flow through an injected clock.Clock so
+// the entire stack runs identically on simulated time, traces carry exact
+// virtual timestamps, and chaos runs replay deterministically. This
+// subsumes the per-package grep and hand-rolled AST test that previously
+// guarded only five packages.
+var ClockPolicy = &Analyzer{
+	Name: "clockpolicy",
+	Doc: "forbid direct time.Now/Sleep/After/... calls outside internal/clock " +
+		"and internal/simclock; inject a clock.Clock instead",
+	Run: runClockPolicy,
+}
+
+func runClockPolicy(pass *Pass) {
+	if clockAllowedPkgs[pass.Path] {
+		return
+	}
+	for _, f := range pass.Files {
+		if f.Test {
+			continue
+		}
+		file := f
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !clockBanned[sel.Sel.Name] {
+				return true
+			}
+			if pass.ImportedPath(file, id) != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct wall-clock call time.%s; route timing through an injected clock.Clock (clock.Wall{} in production paths)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

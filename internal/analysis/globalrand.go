@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level functions that draw from
+// the shared, implicitly seeded global source. rand.New, rand.NewSource
+// and rand.NewZipf are fine — they force the caller to hold a seeded
+// *rand.Rand, which is exactly the contract.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+// GlobalRand enforces the replayability invariant: non-test code must not
+// draw randomness from math/rand's global source (or re-seed it). Every
+// random decision — chaos fault schedules, backoff jitter, data shuffles,
+// weight init — must come from an injected *rand.Rand built with an
+// explicit seed, so a soak or chaos run replays byte-identically from its
+// seed alone. The global source is process-wide mutable state that any
+// import can perturb, which silently breaks that guarantee.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand package-level functions in non-test code; use an " +
+		"injected, explicitly seeded *rand.Rand",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		if f.Test {
+			continue
+		}
+		file := f
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			switch pass.ImportedPath(file, id) {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"global math/rand source via rand.%s breaks seeded replay; draw from an injected *rand.Rand",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

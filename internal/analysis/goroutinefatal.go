@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// goexitCalls are testing.T/B methods that call runtime.Goexit. From any
+// goroutine other than the one running the test function they terminate
+// the wrong goroutine: the test keeps running, the failure may be recorded
+// late or not at all, and a hang is masked instead of reported.
+var goexitCalls = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+// testingRecvNames are the conventional identifiers for *testing.T,
+// *testing.B and testing.TB values in this codebase.
+var testingRecvNames = map[string]bool{"t": true, "b": true, "tb": true}
+
+// GoroutineFatal flags t.Fatal/t.Fatalf/t.FailNow (and the Skip family)
+// inside goroutines launched by tests. testing.T documents that FailNow
+// must be called from the goroutine running the test; from any other
+// goroutine it neither stops the test nor reliably reports, so a failing
+// assertion in a worker goroutine silently passes. Use t.Error/t.Errorf
+// plus a done- or error-channel the test goroutine drains.
+//
+// Function literals that rebind t/b/tb (for example a t.Run subtest
+// callback, which receives its own *testing.T) are exempt for the rebound
+// name: calling Fatal on the subtest's own t is correct.
+var GoroutineFatal = &Analyzer{
+	Name: "goroutinefatal",
+	Doc: "forbid t.Fatal/Fatalf/FailNow/Skip* inside go-statement function " +
+		"literals in tests; use t.Error plus an error channel",
+	Run: runGoroutineFatal,
+}
+
+func runGoroutineFatal(pass *Pass) {
+	for _, f := range pass.Files {
+		if !f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(pass, fl, copySet(testingRecvNames))
+			return true
+		})
+	}
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// checkGoroutineBody walks one function literal running on a test-spawned
+// goroutine, flagging Goexit-calling methods on any identifier still bound
+// to the test's own T/B. Nested literals are walked too (they execute on
+// this goroutine unless relaunched), minus any names they rebind.
+func checkGoroutineBody(pass *Pass, fl *ast.FuncLit, suspect map[string]bool) {
+	for name := range reboundNames(fl) {
+		delete(suspect, name)
+	}
+	if len(suspect) == 0 {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkGoroutineBody(pass, n, copySet(suspect))
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !goexitCalls[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && suspect[id.Name] {
+				pass.Reportf(n.Pos(),
+					"%s.%s inside a goroutine does not stop the test and masks the failure; use %s.Error and signal via a channel",
+					id.Name, sel.Sel.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// reboundNames returns parameter names of fl that shadow the suspect set —
+// e.g. the t of a t.Run subtest callback, which is a fresh *testing.T that
+// may legitimately Fatal.
+func reboundNames(fl *ast.FuncLit) map[string]bool {
+	out := map[string]bool{}
+	if fl.Type.Params == nil {
+		return out
+	}
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			if testingRecvNames[name.Name] {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
+}

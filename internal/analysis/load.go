@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, best-effort type-checked package.
+type Package struct {
+	// Path is the slash-separated directory path relative to the module
+	// root ("." for the root package).
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// ModuleRoot walks upward from dir to the nearest directory containing a
+// go.mod file.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// LoadPackages resolves package patterns relative to root (a module root or
+// any directory). Each pattern is either a directory ("./internal/coord",
+// "."), or a recursive pattern ("./...", "./internal/..."), mirroring the
+// go tool's syntax. Directories named "testdata" and hidden directories are
+// skipped; directories containing no .go files are skipped silently.
+func LoadPackages(root string, patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "..." || pat == "./...":
+			if err := walkGoDirs(root, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+			if err := walkGoDirs(base, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[filepath.Join(root, pat)] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := LoadPackage(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func walkGoDirs(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != base) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+}
+
+// LoadPackage parses every .go file in dir and type-checks the non-test
+// files with stubbed imports. It returns nil (no error) if the directory
+// holds no .go files.
+func LoadPackage(root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, &File{AST: f, Name: path, Test: strings.HasSuffix(name, "_test.go")})
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		rel = dir
+	}
+	pkg := &Package{
+		Path:  filepath.ToSlash(rel),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+	}
+	pkg.Types, pkg.Info = typeCheck(fset, pkg.Path, files)
+	return pkg, nil
+}
+
+// typeCheck runs go/types over the non-test files with a stub importer:
+// every import resolves to an empty placeholder package. Cross-package
+// member references therefore produce (ignored) type errors, but local
+// declarations and — crucially — package-name identifiers still resolve,
+// which is all the analyzers need. The trade is deliberate: full
+// cross-package type-checking would require either compiled export data or
+// a source importer, both unavailable in a dependency-free module.
+func typeCheck(fset *token.FileSet, path string, files []*File) (*types.Package, *types.Info) {
+	var syntax []*ast.File
+	for _, f := range files {
+		if !f.Test {
+			syntax = append(syntax, f.AST)
+		}
+	}
+	if len(syntax) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{
+		Importer: &stubImporter{pkgs: map[string]*types.Package{}},
+		Error:    func(error) {}, // stubbed imports guarantee errors; collect nothing
+	}
+	tpkg, _ := conf.Check(path, fset, syntax, info)
+	return tpkg, info
+}
+
+// stubImporter satisfies every import with an empty, incomplete package
+// named after the path's last element.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	si.pkgs[path] = p
+	return p, nil
+}

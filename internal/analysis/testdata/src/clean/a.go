@@ -1,0 +1,55 @@
+// Package clean is driver testdata: a package that honors every invariant
+// — injected clock, seeded randomness, ctx-taking blocking APIs, no
+// blocking under locks — and must produce zero diagnostics.
+package clean
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type Worker struct {
+	mu    sync.Mutex
+	clk   Clock
+	rng   *rand.Rand
+	steps chan int
+}
+
+func New(clk Clock, seed int64) *Worker {
+	return &Worker{
+		clk:   clk,
+		rng:   rand.New(rand.NewSource(seed)),
+		steps: make(chan int, 8),
+	}
+}
+
+// Step blocks on the step channel under a caller-supplied context.
+func (w *Worker) Step(ctx context.Context) (int, error) {
+	select {
+	case s := <-w.steps:
+		return s, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Jitter draws from the injected seeded source under the lock, releasing
+// before any channel work.
+func (w *Worker) Jitter() time.Duration {
+	w.mu.Lock()
+	d := time.Duration(w.rng.Intn(1000)) * time.Millisecond
+	w.mu.Unlock()
+	return d
+}
+
+// Wait sleeps on the injected clock.
+func (w *Worker) Wait(ctx context.Context, d time.Duration) error {
+	return w.clk.Sleep(ctx, d)
+}

@@ -1,0 +1,50 @@
+// Package clockpolicy is analyzer testdata: direct wall-clock reads in a
+// runtime package.
+package clockpolicy
+
+import (
+	"time"
+	stdtime "time"
+)
+
+// Vars and type references to the time package are fine — only observing
+// or waiting on wall time is banned.
+var timeout = 5 * time.Second
+
+type event struct {
+	at time.Time
+	d  time.Duration
+}
+
+func bad() {
+	_ = time.Now()                     // want "direct wall-clock call time.Now"
+	time.Sleep(timeout)                // want "direct wall-clock call time.Sleep"
+	<-time.After(timeout)              // want "direct wall-clock call time.After"
+	_ = time.NewTimer(timeout)         // want "direct wall-clock call time.NewTimer"
+	_ = time.NewTicker(timeout)        // want "direct wall-clock call time.NewTicker"
+	_ = time.Since(event{}.at)         // want "direct wall-clock call time.Since"
+	_ = stdtime.Now()                  // want "direct wall-clock call time.Now"
+	time.AfterFunc(timeout, func() {}) // want "direct wall-clock call time.AfterFunc"
+}
+
+func allowed() {
+	// A justified waiver on the same line is honored.
+	_ = time.Now() //elan:vet-allow clockpolicy — testdata: demonstrates the waiver pragma
+	// Constructors and conversions don't observe time.
+	_ = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	_ = time.Duration(3)
+	_ = time.Unix(0, 0)
+}
+
+// shadowed proves resolution is by import, not identifier spelling: a
+// local value named time is not the time package.
+func shadowed() {
+	time := fakeClock{}
+	_ = time.Now()
+	time.Sleep(0)
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() struct{}            { return struct{}{} }
+func (fakeClock) Sleep(d stdtime.Duration) {}

@@ -1,0 +1,86 @@
+// Package ctxblocking is analyzer testdata: exported blocking APIs with
+// and without a context parameter.
+package ctxblocking
+
+import "context"
+
+type Conn struct {
+	in     chan []byte
+	out    chan []byte
+	closed chan struct{}
+}
+
+// Recv blocks on a channel receive with no way to cancel; the diagnostic
+// anchors on the receive site.
+func (c *Conn) Recv() []byte {
+	return <-c.in // want "exported Recv blocks \\(channel receive\\) but takes no context.Context"
+}
+
+// Send blocks on a channel send.
+func (c *Conn) Send(b []byte) {
+	c.out <- b // want "exported Send blocks \\(channel send\\) but takes no context.Context"
+}
+
+// WaitClosed parks in a select with no default.
+func (c *Conn) WaitClosed() {
+	select { // want "exported WaitClosed blocks \\(select without default\\) but takes no context.Context"
+	case <-c.closed:
+	}
+}
+
+// Drain ranges over a channel.
+func (c *Conn) Drain() int {
+	n := 0
+	for range c.in { // want "exported Drain blocks \\(range over channel\\) but takes no context.Context"
+		n++
+	}
+	return n
+}
+
+// RecvCtx is the fix: the same blocking op behind a caller-cancellable
+// select would still flag, but a ctx parameter satisfies the contract.
+func (c *Conn) RecvCtx(ctx context.Context) ([]byte, error) {
+	select {
+	case b := <-c.in:
+		return b, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Recv2 delegates to the ctx variant; convenience wrappers hold no
+// blocking op themselves and pass.
+func (c *Conn) Recv2() ([]byte, error) {
+	return c.RecvCtx(context.Background())
+}
+
+// Close is an exempt terminator name: it unblocks callers rather than
+// joining them.
+func (c *Conn) Close() {
+	c.closed <- struct{}{}
+}
+
+// TryRecv never blocks: select with default.
+func (c *Conn) TryRecv() ([]byte, bool) {
+	select {
+	case b := <-c.in:
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+// pump is unexported; internal helpers may block, their exported callers
+// own the contract.
+func (c *Conn) pump() {
+	for b := range c.in {
+		c.out <- b
+	}
+}
+
+// Spawn only blocks inside a go-launched literal, which runs elsewhere.
+func (c *Conn) Spawn() {
+	go func() {
+		c.out <- <-c.in
+	}()
+}

@@ -1,0 +1,39 @@
+// Package globalrand is analyzer testdata: draws from math/rand's global
+// source versus an injected seeded generator.
+package globalrand
+
+import (
+	"math/rand"
+)
+
+func bad() {
+	_ = rand.Intn(10)     // want "global math/rand source via rand.Intn"
+	_ = rand.Float64()    // want "global math/rand source via rand.Float64"
+	_ = rand.Int63()      // want "global math/rand source via rand.Int63"
+	_ = rand.Perm(4)      // want "global math/rand source via rand.Perm"
+	rand.Shuffle(3, swap) // want "global math/rand source via rand.Shuffle"
+	rand.Seed(42)         // want "global math/rand source via rand.Seed"
+}
+
+func swap(i, j int) {}
+
+// good shows the contract: an explicitly seeded generator, injected or
+// constructed from a seed, is the sanctioned source.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() + float64(rng.Intn(10))
+}
+
+func waived() {
+	_ = rand.Intn(10) //elan:vet-allow globalrand — testdata: demonstrates the waiver pragma
+}
+
+// shadowed: a local identifier named rand is not the package.
+func shadowed() {
+	rand := seededSource{}
+	_ = rand.Intn(10)
+}
+
+type seededSource struct{}
+
+func (seededSource) Intn(n int) int { return 0 }

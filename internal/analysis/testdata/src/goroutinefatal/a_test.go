@@ -1,0 +1,71 @@
+// Package goroutinefatal is analyzer testdata: Goexit-calling testing
+// methods inside test-spawned goroutines.
+package goroutinefatal
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBad(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if 1 != 1 {
+			t.Fatal("boom") // want "t.Fatal inside a goroutine does not stop the test"
+		}
+		t.Fatalf("x %d", 1) // want "t.Fatalf inside a goroutine does not stop the test"
+		t.FailNow()         // want "t.FailNow inside a goroutine does not stop the test"
+		t.Skip("nope")      // want "t.Skip inside a goroutine does not stop the test"
+	}()
+	<-done
+}
+
+func TestNested(t *testing.T) {
+	go func() {
+		f := func() {
+			t.Fatalf("nested literal, same goroutine") // want "t.Fatalf inside a goroutine"
+		}
+		f()
+	}()
+}
+
+func BenchmarkBad(b *testing.B) {
+	go func() {
+		b.Fatal("bench") // want "b.Fatal inside a goroutine"
+	}()
+}
+
+// TestGood shows the sanctioned pattern: t.Error plus a channel the test
+// goroutine drains, with Fatal decisions made on the test goroutine.
+func TestGood(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() {
+		t.Error("recorded, does not Goexit")
+		t.Logf("logging is fine")
+		errc <- nil
+	}()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubtestRebind: a t.Run callback receives its own *testing.T; Fatal
+// on the rebound t is correct even under a go statement.
+func TestSubtestRebind(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Run("sub", func(t *testing.T) {
+			t.Fatal("fine: this t is the subtest's own")
+		})
+	}()
+	wg.Wait()
+}
+
+func TestWaived(t *testing.T) {
+	go func() {
+		t.Fatal("waived") //elan:vet-allow goroutinefatal — testdata: demonstrates the waiver pragma
+	}()
+}

@@ -1,0 +1,12 @@
+// Package clock is analyzer testdata standing in for internal/clock: the
+// allowlisted substrate may touch the time package directly, so none of
+// these calls diagnose.
+package clock
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Sleep(d time.Duration) { time.Sleep(d) }
+
+func After(d time.Duration) <-chan time.Time { return time.After(d) }

@@ -1,70 +1,36 @@
-package clock
+package clock_test
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/elan-sys/elan/internal/analysis"
 )
 
-// TestRuntimePackagesUseInjectedClock enforces the unified-time invariant:
-// no non-test file in the coordination stack (transport, coord, worker) or
-// the telemetry layer may read or wait on wall time directly — all timing
-// must flow through an injected clock.Clock so the whole stack runs
-// identically on simulated time (and traces carry exact virtual
-// timestamps). The CI workflow runs the same check via grep; this test
-// keeps it enforced locally and survives workflow drift.
-func TestRuntimePackagesUseInjectedClock(t *testing.T) {
-	banned := map[string]bool{
-		"Sleep": true, "After": true, "AfterFunc": true, "Now": true,
-		"NewTimer": true, "NewTicker": true, "Tick": true, "Since": true,
+// TestClockPolicyTreeWide enforces the unified-time invariant through the
+// clockpolicy analyzer from internal/analysis — the single source of truth
+// for the banned-identifier list and the package allowlist. It replaces
+// the hand-rolled per-package AST walk (and the CI grep) that previously
+// guarded only five packages: the analyzer covers every non-test package
+// in the module, and cmd/elan-vet runs the same check in CI. This thin
+// test keeps the invariant enforced by `go test ./...` alone, surviving
+// workflow drift.
+func TestClockPolicyTreeWide(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
 	}
-	var violations []string
-	for _, dir := range []string{"../transport", "../coord", "../worker", "../telemetry", "../chaos"} {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			t.Fatalf("ReadDir %s: %v", dir, err)
-		}
-		for _, e := range entries {
-			name := e.Name()
-			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-				continue
-			}
-			path := filepath.Join(dir, name)
-			fset := token.NewFileSet()
-			f, err := parser.ParseFile(fset, path, nil, 0)
-			if err != nil {
-				t.Fatalf("parse %s: %v", path, err)
-			}
-			// Only selector expressions on the time package identifier
-			// count; time.Duration / time.Time type references are fine.
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok || id.Name != "time" || id.Obj != nil {
-					return true
-				}
-				if banned[sel.Sel.Name] {
-					violations = append(violations, fmt.Sprintf("%s: time.%s",
-						fset.Position(call.Pos()), sel.Sel.Name))
-				}
-				return true
-			})
-		}
+	pkgs, err := analysis.LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
 	}
-	if len(violations) > 0 {
+	diags := analysis.Run([]*analysis.Analyzer{analysis.ClockPolicy}, pkgs)
+	if len(diags) > 0 {
+		var lines []string
+		for _, d := range diags {
+			lines = append(lines, d.String())
+		}
 		t.Fatalf("direct wall-clock calls in runtime packages (inject a clock.Clock instead):\n  %s",
-			strings.Join(violations, "\n  "))
+			strings.Join(lines, "\n  "))
 	}
 }

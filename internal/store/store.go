@@ -77,7 +77,6 @@ func (s *Store) putLocked(key string, value []byte) int64 {
 	return e.Version
 }
 
-
 // CAS stores value under key only if the current version equals expected
 // (use 0 for "key must not exist"). It returns the new version.
 func (s *Store) CAS(key string, expected int64, value []byte) (int64, error) {

@@ -163,16 +163,16 @@ func NewBus(cfg BusConfig) *Bus {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Bus{
-		cfg:         cfg,
-		clk:         cfg.Clock,
-		tr:          telemetry.OrNop(cfg.Tracer),
-		mCalls:      cfg.Metrics.Counter("transport_calls_total"),
-		mResends:    cfg.Metrics.Counter("transport_resends_total"),
-		mDrops:      cfg.Metrics.Counter("transport_drops_total"),
-		mCallErrors: cfg.Metrics.Counter("transport_call_errors_total"),
-		mLatency:    cfg.Metrics.Histogram("transport_call_seconds"),
-		ctx:         ctx,
-		cancel:      cancel,
+		cfg:          cfg,
+		clk:          cfg.Clock,
+		tr:           telemetry.OrNop(cfg.Tracer),
+		mCalls:       cfg.Metrics.Counter("transport_calls_total"),
+		mResends:     cfg.Metrics.Counter("transport_resends_total"),
+		mDrops:       cfg.Metrics.Counter("transport_drops_total"),
+		mCallErrors:  cfg.Metrics.Counter("transport_call_errors_total"),
+		mLatency:     cfg.Metrics.Histogram("transport_call_seconds"),
+		ctx:          ctx,
+		cancel:       cancel,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		endpoints:    make(map[string]*Endpoint),
 		incarnations: make(map[string]uint64),
