@@ -279,6 +279,93 @@ func BenchmarkMatMul128(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMulInto128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.MustNew(128, 128)
+	y := tensor.MustNew(128, 128)
+	dst := tensor.MustNew(128, 128)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.MatMulInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulInto128Parallel4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.MustNew(128, 128)
+	y := tensor.MustNew(128, 128)
+	dst := tensor.MustNew(128, 128)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	prev := tensor.SetParallelism(4)
+	defer tensor.SetParallelism(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.MatMulInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.MustNew(512, 512)
+	y := tensor.MustNew(512, 512)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulInto512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.MustNew(512, 512)
+	y := tensor.MustNew(512, 512)
+	dst := tensor.MustNew(512, 512)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.MatMulInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulInto512Parallel4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.MustNew(512, 512)
+	y := tensor.MustNew(512, 512)
+	dst := tensor.MustNew(512, 512)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	prev := tensor.SetParallelism(4)
+	defer tensor.SetParallelism(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.MatMulInto(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTransportCall(b *testing.B) {
 	bus := transport.NewBus(transport.DefaultBusConfig())
 	if _, err := bus.Endpoint("server", func(m transport.Message) ([]byte, error) {

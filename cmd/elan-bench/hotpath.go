@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/collective"
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/nn"
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+// hotBenchResult is one row of the -json hot-path report. Allocation
+// figures are measured process-wide via runtime.MemStats, so multi-rank
+// benchmarks include every participant — which is exactly the
+// zero-steady-state-allocation contract the hot path promises.
+type hotBenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// measureHot times iters calls of fn after one warm-up call (which builds
+// workspaces, so the steady state is what gets measured).
+func measureHot(clk clock.Clock, name string, iters int, fn func() error) (hotBenchResult, error) {
+	r := hotBenchResult{Name: name, Iters: iters}
+	if err := fn(); err != nil {
+		return r, fmt.Errorf("%s: warm-up: %w", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := clk.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return r, fmt.Errorf("%s: iter %d: %w", name, i, err)
+		}
+	}
+	elapsed := clk.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	r.NsPerOp = float64(elapsed.Nanoseconds()) / n
+	r.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / n
+	r.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / n
+	return r, nil
+}
+
+// hotpathBenches runs the hot-path micro-benchmarks: naive vs Into matmul
+// (serial and parallel), the full nn training step, and the bare ring
+// allreduce. quick shrinks iteration counts for tests.
+func hotpathBenches(quick bool) ([]hotBenchResult, error) {
+	clk := clock.Wall{}
+	scale := 1
+	if quick {
+		scale = 50
+	}
+	var results []hotBenchResult
+	add := func(name string, iters int, fn func() error) error {
+		if iters < 2 {
+			iters = 2
+		}
+		r, err := measureHot(clk, name, iters, fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	const mm = 128
+	x := tensor.MustNew(mm, mm)
+	y := tensor.MustNew(mm, mm)
+	dst := tensor.MustNew(mm, mm)
+	x.Randn(rng, 1)
+	y.Randn(rng, 1)
+	if err := add("matmul_naive_128", 500/scale, func() error {
+		_, err := tensor.MatMul(x, y)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	prev := tensor.SetParallelism(1)
+	err := add("matmul_into_128_serial", 500/scale, func() error {
+		return tensor.MatMulInto(dst, x, y)
+	})
+	tensor.SetParallelism(prev)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2 // exercise the pool dispatch even on one CPU
+	}
+	prev = tensor.SetParallelism(workers)
+	err = add(fmt.Sprintf("matmul_into_128_parallel_%d", workers), 500/scale, func() error {
+		return tensor.MatMulInto(dst, x, y)
+	})
+	tensor.SetParallelism(prev)
+	if err != nil {
+		return nil, err
+	}
+
+	ds, err := data.GenGaussianMixture(1, 2048, 8, 3)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.NewMLP(rand.New(rand.NewSource(1)), []int{8, 32, 32, 3})
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(net.Params(), 0.05, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 32
+	bx := tensor.MustNew(batch, ds.Features)
+	by := make([]int, batch)
+	var flat []float64
+	cursor := 0
+	if err := add("train_step_32x8-32-32-3", 500/scale, func() error {
+		if err := ds.BatchInto(bx, by, cursor, cursor+batch); err != nil {
+			return err
+		}
+		cursor = (cursor + batch) % ds.N()
+		out, err := net.Forward(bx)
+		if err != nil {
+			return err
+		}
+		_, grad, err := net.SoftmaxLoss(out, by)
+		if err != nil {
+			return err
+		}
+		net.ZeroGrads()
+		if err := net.Backward(grad); err != nil {
+			return err
+		}
+		flat = net.FlattenGrads(flat[:0])
+		if err := net.LoadGrads(flat); err != nil {
+			return err
+		}
+		return opt.Step(net.Params(), net.Grads())
+	}); err != nil {
+		return nil, err
+	}
+
+	const ranks, vecLen = 4, 1 << 16
+	g, err := collective.NewGroup(ranks)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([][]float64, ranks)
+	for r := range vecs {
+		vecs[r] = make([]float64, vecLen)
+	}
+	for r := 1; r < ranks; r++ {
+		r := r
+		go func() {
+			for g.AllReduce(r, vecs[r]) == nil {
+			}
+		}()
+	}
+	err = add(fmt.Sprintf("allreduce_bare_%dx%d", ranks, vecLen), 200/scale, func() error {
+		return g.AllReduce(0, vecs[0])
+	})
+	g.Close()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// writeHotpathJSON runs the hot-path benchmarks and writes the report.
+func writeHotpathJSON(path string, quick bool, w io.Writer) error {
+	results, err := hotpathBenches(quick)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%-32s %12.0f ns/op %8.1f allocs/op %12.1f B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	fmt.Fprintf(w, "wrote %d benchmarks to %s\n", len(results), path)
+	return nil
+}

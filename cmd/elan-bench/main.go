@@ -7,6 +7,7 @@
 //	elan-bench -list                       # list experiment ids
 //	elan-bench -exp fig20 -quick           # short trace for a fast run
 //	elan-bench -adjust-trace adjust.json   # trace one scaling adjustment
+//	elan-bench -json hotpath.json          # hot-path micro-benchmark report
 package main
 
 import (
@@ -26,7 +27,16 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	adjTrace := flag.String("adjust-trace", "",
 		"write a Chrome trace-event JSON file of one live scale-out adjustment and exit")
+	jsonOut := flag.String("json", "",
+		"run the hot-path micro-benchmarks (matmul, train step, allreduce) and write ns/op, allocs/op and B/op to this JSON file")
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := writeHotpathJSON(*jsonOut, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *adjTrace != "" {
 		if err := writeAdjustTrace(*adjTrace, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "elan-bench:", err)

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/telemetry"
@@ -26,6 +25,57 @@ var ErrClosed = errors.New("collective: group closed")
 type chunkMsg struct {
 	idx  int
 	data []float64
+}
+
+// rankScratch is one rank's double-buffered chunk arena for the ring
+// allreduce. Ownership protocol: a send hands the buffer to the successor
+// for good (the channel send is the transfer point), and every receive
+// deposits the incoming buffer into the receiver's arena for its next
+// send. Buffers therefore migrate around the ring — what ping-pongs is the
+// arena slot, not a fixed buffer — and no rank ever writes a buffer its
+// neighbor might still be reading. Each step performs one withdrawal and
+// one deposit, so after ensure primes the two halves the arena never
+// allocates again for that vector size.
+type rankScratch struct {
+	free   [2][]float64
+	n      int
+	capPer int
+}
+
+// ensure sizes both halves for chunks of up to maxChunk elements. Sized at
+// first use (and re-sized only if a later allreduce needs larger chunks);
+// migrated buffers from other ranks are interchangeable because every rank
+// primes to the same maxChunk.
+func (s *rankScratch) ensure(maxChunk int) {
+	if s.capPer >= maxChunk {
+		return
+	}
+	s.free[0] = make([]float64, maxChunk)
+	s.free[1] = make([]float64, maxChunk)
+	s.n = 2
+	s.capPer = maxChunk
+}
+
+// get withdraws a buffer of length need, allocating only if the arena was
+// drained by a prior error path.
+func (s *rankScratch) get(need int) []float64 {
+	if s.n > 0 {
+		s.n--
+		b := s.free[s.n]
+		s.free[s.n] = nil
+		if cap(b) >= need {
+			return b[:need]
+		}
+	}
+	return make([]float64, need)
+}
+
+// put deposits a buffer received from the ring predecessor.
+func (s *rankScratch) put(b []float64) {
+	if s.n < len(s.free) {
+		s.free[s.n] = b
+		s.n++
+	}
 }
 
 // Group is a communication group of n ranks. All ranks must call AllReduce
@@ -44,13 +94,19 @@ type Group struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 
-	// Telemetry (SetTelemetry); the defaults cost nothing.
-	tr        telemetry.Tracer
-	clk       clock.Clock
-	link      string
-	mOps      *telemetry.Counter
-	mSeconds  *telemetry.Histogram
-	mElements *telemetry.Counter
+	// scratch[r] is rank r's chunk arena, touched only by that rank's
+	// goroutine.
+	scratch []rankScratch
+
+	// Telemetry (SetTelemetry); an un-instrumented group takes the
+	// AllReduce fast path and records nothing at zero cost.
+	instrumented bool
+	tr           telemetry.Tracer
+	clk          clock.Clock
+	link         string
+	mOps         *telemetry.Counter
+	mSeconds     *telemetry.Histogram
+	mElements    *telemetry.Counter
 }
 
 // NewGroup constructs a communication group with n ranks.
@@ -59,10 +115,11 @@ func NewGroup(n int) (*Group, error) {
 		return nil, fmt.Errorf("collective: non-positive group size %d", n)
 	}
 	g := &Group{
-		n:      n,
-		ring:   make([]chan chunkMsg, n),
-		closed: make(chan struct{}),
-		tr:     telemetry.Nop{},
+		n:       n,
+		ring:    make([]chan chunkMsg, n),
+		closed:  make(chan struct{}),
+		scratch: make([]rankScratch, n),
+		tr:      telemetry.Nop{},
 	}
 	for i := range g.ring {
 		g.ring[i] = make(chan chunkMsg, 1)
@@ -80,6 +137,7 @@ func NewGroup(n int) (*Group, error) {
 // the group to its ranks; the elastic runtime re-attaches after every
 // group reconstruction. Nil tracer/registry components stay disabled.
 func (g *Group) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry, clk clock.Clock, link string) {
+	g.instrumented = true
 	g.tr = telemetry.OrNop(tr)
 	if clk == nil {
 		clk = clock.Wall{}
@@ -140,22 +198,22 @@ func (g *Group) chunkBounds(total, idx int) (int, int) {
 
 // AllReduce sums vec elementwise across all ranks, in place. Every rank must
 // call it with a vector of identical length; on return every rank holds the
-// global sum. rank identifies the caller in [0, n).
+// global sum. rank identifies the caller in [0, n). A group that never had
+// SetTelemetry attached runs the bare ring with zero instrumentation cost
+// and zero steady-state allocations.
 func (g *Group) AllReduce(rank int, vec []float64) error {
+	if !g.instrumented {
+		return g.allReduce(rank, vec)
+	}
 	span := g.tr.StartSpan("collective.allreduce")
 	span.Annotate("link", g.link)
 	span.AnnotateInt("rank", rank)
 	span.AnnotateInt("ranks", g.n)
 	span.AnnotateInt("elements", len(vec))
 	span.AnnotateInt("chunk", (len(vec)+g.n-1)/g.n)
-	var start time.Time
-	if g.clk != nil {
-		start = g.clk.Now()
-	}
+	start := g.clk.Now()
 	err := g.allReduce(rank, vec)
-	if g.clk != nil {
-		g.mSeconds.Observe(g.clk.Since(start).Seconds())
-	}
+	g.mSeconds.Observe(g.clk.Since(start).Seconds())
 	g.mOps.Inc()
 	g.mElements.Add(int64(len(vec)))
 	if err != nil {
@@ -165,7 +223,10 @@ func (g *Group) AllReduce(rank int, vec []float64) error {
 	return err
 }
 
-// allReduce is the uninstrumented two-phase ring.
+// allReduce is the uninstrumented two-phase ring. Outgoing chunks are
+// copied into recycled arena buffers (see rankScratch) instead of fresh
+// allocations: the send transfers buffer ownership to the successor rank
+// and each receive deposits the predecessor's buffer for reuse.
 func (g *Group) allReduce(rank int, vec []float64) error {
 	if rank < 0 || rank >= g.n {
 		return fmt.Errorf("collective: rank %d out of [0, %d)", rank, g.n)
@@ -174,12 +235,18 @@ func (g *Group) allReduce(rank int, vec []float64) error {
 		return nil
 	}
 	n := g.n
+	maxChunk := len(vec) / n
+	if len(vec)%n != 0 {
+		maxChunk++
+	}
+	sc := &g.scratch[rank]
+	sc.ensure(maxChunk)
 	// Phase 1: reduce-scatter. At step s (0-based), rank r sends chunk
 	// (r-s) mod n and receives chunk (r-s-1) mod n, accumulating into it.
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((rank-s)%n + n) % n
 		lo, hi := g.chunkBounds(len(vec), sendIdx)
-		out := make([]float64, hi-lo)
+		out := sc.get(hi - lo)
 		copy(out, vec[lo:hi])
 		if err := g.send(rank, chunkMsg{idx: sendIdx, data: out}); err != nil {
 			return err
@@ -196,13 +263,14 @@ func (g *Group) allReduce(rank int, vec []float64) error {
 		for i, v := range m.data {
 			vec[lo+i] += v
 		}
+		sc.put(m.data)
 	}
 	// Phase 2: allgather. At step s, rank r sends chunk (r+1-s) mod n and
 	// receives chunk (r-s) mod n, overwriting it.
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((rank+1-s)%n + n) % n
 		lo, hi := g.chunkBounds(len(vec), sendIdx)
-		out := make([]float64, hi-lo)
+		out := sc.get(hi - lo)
 		copy(out, vec[lo:hi])
 		if err := g.send(rank, chunkMsg{idx: sendIdx, data: out}); err != nil {
 			return err
@@ -216,6 +284,7 @@ func (g *Group) allReduce(rank int, vec []float64) error {
 			return fmt.Errorf("collective: rank %d allgather chunk %d size mismatch", rank, m.idx)
 		}
 		copy(vec[lo:hi], m.data)
+		sc.put(m.data)
 	}
 	return nil
 }

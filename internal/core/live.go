@@ -16,6 +16,7 @@ import (
 	"github.com/elan-sys/elan/internal/scaling"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/telemetry"
+	"github.com/elan-sys/elan/internal/tensor"
 )
 
 // LiveJob is real elastic data-parallel training: every worker holds its own
@@ -71,6 +72,12 @@ type liveWorker struct {
 	name string
 	net  *nn.MLP
 	opt  *nn.SGD
+	// Step workspace, reused across iterations (touched only by this
+	// worker's step goroutine): the flat gradient vector for the allreduce
+	// and the materialized batch.
+	flat   []float64
+	batchX *tensor.Matrix
+	batchY []int
 }
 
 // LiveConfig configures a LiveJob.
@@ -312,18 +319,26 @@ func (lj *LiveJob) stepLocked() (_ float64, err error) {
 		go func() {
 			defer wg.Done()
 			worker := lj.workers[w]
-			x, y, err := lj.dataset.Batch(shards[w].lo, shards[w].hi)
-			if err != nil {
+			bn := shards[w].hi - shards[w].lo
+			if bn <= 0 {
+				errs[w] = fmt.Errorf("core: empty shard [%d, %d)", shards[w].lo, shards[w].hi)
+				return
+			}
+			if worker.batchX == nil || worker.batchX.Rows != bn {
+				worker.batchX = tensor.MustNew(bn, lj.dataset.Features)
+				worker.batchY = make([]int, bn)
+			}
+			if err := lj.dataset.BatchInto(worker.batchX, worker.batchY, shards[w].lo, shards[w].hi); err != nil {
 				errs[w] = err
 				return
 			}
 			worker.net.ZeroGrads()
-			out, err := worker.net.Forward(x)
+			out, err := worker.net.Forward(worker.batchX)
 			if err != nil {
 				errs[w] = err
 				return
 			}
-			loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+			loss, grad, err := worker.net.SoftmaxLoss(out, worker.batchY)
 			if err != nil {
 				errs[w] = err
 				return
@@ -333,12 +348,12 @@ func (lj *LiveJob) stepLocked() (_ float64, err error) {
 				errs[w] = err
 				return
 			}
-			flat := worker.net.FlattenGrads(nil)
-			if err := lj.group.AllReduceMean(w, flat); err != nil {
+			worker.flat = worker.net.FlattenGrads(worker.flat[:0])
+			if err := lj.group.AllReduceMean(w, worker.flat); err != nil {
 				errs[w] = err
 				return
 			}
-			if err := worker.net.LoadGrads(flat); err != nil {
+			if err := worker.net.LoadGrads(worker.flat); err != nil {
 				errs[w] = err
 				return
 			}
@@ -607,7 +622,7 @@ func (lj *LiveJob) Evaluate(d *data.Dataset) (loss, acc float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	loss, _, err = nn.SoftmaxCrossEntropy(out, y)
+	loss, _, err = lj.workers[0].net.SoftmaxLoss(out, y)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -40,12 +40,31 @@ func (d *Dataset) Batch(lo, hi int) (*tensor.Matrix, []int, error) {
 	n := hi - lo
 	x := tensor.MustNew(n, d.Features)
 	y := make([]int, n)
+	if err := d.BatchInto(x, y, lo, hi); err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+// BatchInto materializes samples [lo, hi) into the caller-owned x and y,
+// allocation-free; workers reuse one batch buffer across steps. Shapes
+// must match exactly: x is (hi-lo) x Features and y has hi-lo entries.
+// Indices wrap around the dataset, so hi may exceed N.
+func (d *Dataset) BatchInto(x *tensor.Matrix, y []int, lo, hi int) error {
+	if hi <= lo {
+		return fmt.Errorf("data: empty batch [%d, %d)", lo, hi)
+	}
+	n := hi - lo
+	if x.Rows != n || x.Cols != d.Features || len(y) != n {
+		return fmt.Errorf("data: batch buffers %dx%d/%d for batch [%d, %d) of %d features",
+			x.Rows, x.Cols, len(y), lo, hi, d.Features)
+	}
 	for i := 0; i < n; i++ {
 		idx := (lo + i) % d.N()
 		copy(x.Data[i*d.Features:(i+1)*d.Features], d.X[idx*d.Features:(idx+1)*d.Features])
 		y[i] = d.Y[idx]
 	}
-	return x, y, nil
+	return nil
 }
 
 // GenGaussianMixture creates a classification dataset of n samples with the

@@ -88,7 +88,7 @@ func (e *StaticEngine) Step(x *tensor.Matrix, y []int, lr float64) (float64, err
 	if err != nil {
 		return 0, err
 	}
-	loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+	loss, grad, err := e.net.SoftmaxLoss(out, y)
 	if err != nil {
 		return 0, err
 	}
@@ -108,7 +108,7 @@ func (e *StaticEngine) Eval(x *tensor.Matrix, y []int) (float64, float64, error)
 	if err != nil {
 		return 0, 0, err
 	}
-	loss, _, err := nn.SoftmaxCrossEntropy(out, y)
+	loss, _, err := e.net.SoftmaxLoss(out, y)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -197,7 +197,7 @@ func (e *DynamicEngine) Step(x *tensor.Matrix, y []int, lr float64) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+	loss, grad, err := net.SoftmaxLoss(out, y)
 	if err != nil {
 		return 0, err
 	}
@@ -217,7 +217,7 @@ func (e *DynamicEngine) Eval(x *tensor.Matrix, y []int) (float64, float64, error
 	if err != nil {
 		return 0, 0, err
 	}
-	loss, _, err := nn.SoftmaxCrossEntropy(out, y)
+	loss, _, err := e.branches[0].SoftmaxLoss(out, y)
 	if err != nil {
 		return 0, 0, err
 	}

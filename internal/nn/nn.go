@@ -18,12 +18,27 @@ import (
 	"github.com/elan-sys/elan/internal/tensor"
 )
 
+// linearWS is one Linear layer's scratch for a particular batch size:
+// the workspace-owned copy of the input (so callers may mutate or reuse
+// their batch between forward and backward without corrupting gradients),
+// the forward activation, and the input-gradient buffer. Workspaces are
+// cached per batch-row count; after the first step with a given shape the
+// layer's forward and backward passes allocate nothing.
+type linearWS struct {
+	input  *tensor.Matrix // batch x in, owned copy of the forward input
+	out    *tensor.Matrix // batch x out
+	gradIn *tensor.Matrix // batch x in
+}
+
 // Linear is a fully connected layer y = xW + b.
 type Linear struct {
 	W, B  *tensor.Matrix // parameters
 	GradW *tensor.Matrix // accumulated gradients
 	GradB *tensor.Matrix
-	input *tensor.Matrix // cached for backward
+	gw    *tensor.Matrix    // in x out matmul scratch (batch-independent)
+	gb    *tensor.Matrix    // 1 x out row-sum scratch
+	ws    map[int]*linearWS // per-batch-shape workspaces, keyed by rows
+	cur   *linearWS         // workspace of the most recent Forward
 }
 
 // NewLinear creates a layer with He-initialized weights.
@@ -42,46 +57,81 @@ func NewLinear(rng *rand.Rand, in, out int) (*Linear, error) {
 		B:     b,
 		GradW: tensor.MustNew(in, out),
 		GradB: tensor.MustNew(1, out),
+		gw:    tensor.MustNew(in, out),
+		gb:    tensor.MustNew(1, out),
+		ws:    make(map[int]*linearWS),
 	}, nil
 }
 
-// Forward computes xW + b and caches x for the backward pass.
+// wsFor returns (building on first use) the workspace for a batch of rows.
+func (l *Linear) wsFor(rows int) *linearWS {
+	w := l.ws[rows]
+	if w == nil {
+		w = &linearWS{
+			input:  tensor.MustNew(rows, l.W.Rows),
+			out:    tensor.MustNew(rows, l.W.Cols),
+			gradIn: tensor.MustNew(rows, l.W.Rows),
+		}
+		l.ws[rows] = w
+	}
+	return w
+}
+
+// Forward computes xW + b into the layer's workspace and caches a copy of
+// x for the backward pass. The returned matrix is workspace-owned and
+// valid until the next Forward with the same batch size.
 func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
-	out, err := tensor.MatMul(x, l.W)
-	if err != nil {
+	if x.Cols != l.W.Rows {
+		return nil, fmt.Errorf("nn: forward %dx%d through %dx%d layer",
+			x.Rows, x.Cols, l.W.Rows, l.W.Cols)
+	}
+	w := l.wsFor(x.Rows)
+	copy(w.input.Data, x.Data)
+	if err := tensor.MatMulInto(w.out, w.input, l.W); err != nil {
 		return nil, err
 	}
-	if err := out.AddRowVector(l.B); err != nil {
+	if err := w.out.AddRowVector(l.B); err != nil {
 		return nil, err
 	}
-	l.input = x
-	return out, nil
+	l.cur = w
+	return w.out, nil
 }
 
 // Backward accumulates parameter gradients and returns the gradient with
-// respect to the layer input.
+// respect to the layer input (workspace-owned, valid until the next
+// Backward with the same batch size).
 func (l *Linear) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
-	if l.input == nil {
+	w := l.cur
+	if w == nil {
 		return nil, fmt.Errorf("nn: backward before forward")
 	}
-	gw, err := tensor.MatMulAT(l.input, grad)
-	if err != nil {
+	if err := tensor.MatMulATInto(l.gw, w.input, grad); err != nil {
 		return nil, err
 	}
-	if err := l.GradW.Axpy(1, gw); err != nil {
+	if err := l.GradW.Axpy(1, l.gw); err != nil {
 		return nil, err
 	}
-	if err := l.GradB.Axpy(1, grad.SumRows()); err != nil {
+	if err := grad.SumRowsInto(l.gb); err != nil {
 		return nil, err
 	}
-	return tensor.MatMulBT(grad, l.W)
+	if err := l.GradB.Axpy(1, l.gb); err != nil {
+		return nil, err
+	}
+	if err := tensor.MatMulBTInto(w.gradIn, grad, l.W); err != nil {
+		return nil, err
+	}
+	return w.gradIn, nil
 }
 
 // MLP is a multilayer perceptron with ReLU between linear layers and raw
 // logits at the output.
 type MLP struct {
 	layers []*Linear
-	masks  []*tensor.Matrix // ReLU masks cached during forward
+	masks  []*tensor.Matrix         // ReLU masks of the most recent Forward
+	maskWS map[int][]*tensor.Matrix // per-batch-shape mask buffers
+	probs  map[int]*tensor.Matrix   // per-batch-shape softmax buffer
+	params []*tensor.Matrix         // cached Params() result
+	grads  []*tensor.Matrix         // cached Grads() result
 }
 
 // NewMLP builds an MLP with the given layer sizes, e.g. {2, 64, 64, 3} for a
@@ -90,7 +140,10 @@ func NewMLP(rng *rand.Rand, sizes []int) (*MLP, error) {
 	if len(sizes) < 2 {
 		return nil, fmt.Errorf("nn: need at least input and output sizes, got %v", sizes)
 	}
-	m := &MLP{}
+	m := &MLP{
+		maskWS: make(map[int][]*tensor.Matrix),
+		probs:  make(map[int]*tensor.Matrix),
+	}
 	for i := 0; i+1 < len(sizes); i++ {
 		l, err := NewLinear(rng, sizes[i], sizes[i+1])
 		if err != nil {
@@ -101,9 +154,14 @@ func NewMLP(rng *rand.Rand, sizes []int) (*MLP, error) {
 	return m, nil
 }
 
-// Forward runs the network and returns logits.
+// Forward runs the network and returns logits (workspace-owned; valid
+// until the next Forward with the same batch size).
 func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
-	m.masks = m.masks[:0]
+	masks := m.maskWS[x.Rows]
+	if masks == nil {
+		masks = make([]*tensor.Matrix, len(m.layers)-1)
+		m.maskWS[x.Rows] = masks
+	}
 	h := x
 	for i, l := range m.layers {
 		var err error
@@ -112,9 +170,15 @@ func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
 		}
 		if i < len(m.layers)-1 {
-			m.masks = append(m.masks, h.ReLU())
+			if masks[i] == nil {
+				masks[i] = tensor.MustNew(h.Rows, h.Cols)
+			}
+			if err := h.ReLUInto(masks[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
+	m.masks = masks
 	return h, nil
 }
 
@@ -145,22 +209,28 @@ func (m *MLP) ZeroGrads() {
 	}
 }
 
-// Params returns all parameter matrices in a stable order.
+// Params returns all parameter matrices in a stable order. The slice is
+// built once and cached (the matrices are fixed at construction), so hot
+// paths may call it every step without allocating; callers must not mutate
+// the slice itself.
 func (m *MLP) Params() []*tensor.Matrix {
-	var out []*tensor.Matrix
-	for _, l := range m.layers {
-		out = append(out, l.W, l.B)
+	if m.params == nil {
+		for _, l := range m.layers {
+			m.params = append(m.params, l.W, l.B)
+		}
 	}
-	return out
+	return m.params
 }
 
-// Grads returns all gradient matrices in the same order as Params.
+// Grads returns all gradient matrices in the same order as Params, cached
+// like Params.
 func (m *MLP) Grads() []*tensor.Matrix {
-	var out []*tensor.Matrix
-	for _, l := range m.layers {
-		out = append(out, l.GradW, l.GradB)
+	if m.grads == nil {
+		for _, l := range m.layers {
+			m.grads = append(m.grads, l.GradW, l.GradB)
+		}
 	}
-	return out
+	return m.grads
 }
 
 // NumParams returns the total parameter count.
@@ -194,14 +264,39 @@ func (m *MLP) LoadGrads(flat []float64) error {
 	return err
 }
 
+// SoftmaxLoss computes the mean softmax cross-entropy of logits against
+// integer labels using the network's per-batch-shape softmax buffer: after
+// the first call with a given batch size it allocates nothing. The
+// returned gradient is workspace-owned and reused by the next call with
+// the same batch size.
+func (m *MLP) SoftmaxLoss(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix, error) {
+	p := m.probs[logits.Rows]
+	if p == nil || p.Cols != logits.Cols {
+		p = tensor.MustNew(logits.Rows, logits.Cols)
+		m.probs[logits.Rows] = p
+	}
+	return softmaxCrossEntropyInto(p, logits, labels)
+}
+
 // SoftmaxCrossEntropy computes the mean cross-entropy loss of logits against
 // integer labels and returns the loss and the gradient with respect to the
-// logits (already divided by the batch size).
+// logits (already divided by the batch size). It allocates a fresh gradient
+// per call; the hot path uses MLP.SoftmaxLoss.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix, error) {
 	if len(labels) != logits.Rows {
 		return 0, nil, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows)
 	}
-	probs := logits.Clone()
+	return softmaxCrossEntropyInto(tensor.MustNew(logits.Rows, logits.Cols), logits, labels)
+}
+
+// softmaxCrossEntropyInto computes the loss and gradient into the
+// caller-owned probs buffer (same shape as logits) and returns probs as
+// the gradient.
+func softmaxCrossEntropyInto(probs, logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix, error) {
+	if len(labels) != logits.Rows {
+		return 0, nil, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows)
+	}
+	copy(probs.Data, logits.Data)
 	probs.SoftmaxRows()
 	var loss float64
 	grad := probs // reuse: grad = probs - onehot

@@ -1,0 +1,5 @@
+//go:build race
+
+package racecheck
+
+const enabled = true

@@ -1,0 +1,338 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/racecheck"
+)
+
+// forcePool lowers the parallel-work threshold so even 1x1 shapes dispatch
+// through the pool, and restores everything on cleanup.
+func forcePool(t *testing.T) {
+	t.Helper()
+	prevWork := minParallelWork
+	prevK := Parallelism()
+	minParallelWork = 0
+	t.Cleanup(func() {
+		minParallelWork = prevWork
+		SetParallelism(prevK)
+	})
+}
+
+// fillAdversarial populates m with a mix of ordinary values, exact zeros
+// (which the kernels skip), denormals, infinities and NaNs, so bitwise
+// comparison exercises the full accumulation-order contract.
+func fillAdversarial(rng *rand.Rand, m *Matrix, special bool) {
+	for i := range m.Data {
+		switch rng.Intn(8) {
+		case 0:
+			m.Data[i] = 0
+		case 1:
+			m.Data[i] = -0.0
+		case 2:
+			if special {
+				m.Data[i] = math.Inf(1 - 2*rng.Intn(2))
+			} else {
+				m.Data[i] = rng.NormFloat64() * 1e-300
+			}
+		case 3:
+			if special {
+				m.Data[i] = math.NaN()
+			} else {
+				m.Data[i] = rng.NormFloat64() * 1e300
+			}
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// bitsEqual compares two matrices bit for bit (so NaN payloads and signed
+// zeros must match exactly).
+func bitsEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// intoShapes are the adversarial (m, k, n) matmul shapes: 1x1, shapes with
+// ragged kBlock remainders, fewer rows than workers, single row/column, and
+// a shape big enough to cross minParallelWork at default settings.
+var intoShapes = [][3]int{
+	{1, 1, 1},
+	{1, 7, 1},
+	{2, 1, 3},
+	{3, 129, 5},   // k = kBlock + 1: ragged remainder tile
+	{5, 128, 3},   // k = exactly one tile
+	{5, 256, 3},   // k = two exact tiles
+	{7, 300, 11},  // two tiles + remainder
+	{2, 50, 64},   // rows < any realistic worker count
+	{13, 17, 19},  // all-prime raggedness
+	{64, 33, 48},  // moderately large, crosses minParallelWork
+	{1, 1000, 1},  // long dot product, single row
+	{100, 1, 100}, // rank-1 outer product
+}
+
+func TestMatMulIntoMatchesNaiveBitwise(t *testing.T) {
+	forcePool(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range intoShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, special := range []bool{false, true} {
+			a := MustNew(m, k)
+			b := MustNew(k, n)
+			fillAdversarial(rng, a, special)
+			fillAdversarial(rng, b, special)
+			want, err := MatMul(a, b)
+			if err != nil {
+				t.Fatalf("MatMul(%dx%d, %dx%d): %v", m, k, k, n, err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				SetParallelism(workers)
+				dst := MustNew(m, n)
+				fillAdversarial(rng, dst, special) // Into must fully overwrite
+				if err := MatMulInto(dst, a, b); err != nil {
+					t.Fatalf("MatMulInto k=%d shape=%v: %v", workers, sh, err)
+				}
+				if !bitsEqual(dst, want) {
+					t.Fatalf("MatMulInto k=%d shape=%v special=%v differs from naive", workers, sh, special)
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulATIntoMatchesNaiveBitwise(t *testing.T) {
+	forcePool(t)
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range intoShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, special := range []bool{false, true} {
+			a := MustNew(k, m) // dst = a^T b is m x n
+			b := MustNew(k, n)
+			fillAdversarial(rng, a, special)
+			fillAdversarial(rng, b, special)
+			want, err := MatMulAT(a, b)
+			if err != nil {
+				t.Fatalf("MatMulAT shape=%v: %v", sh, err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				SetParallelism(workers)
+				dst := MustNew(m, n)
+				fillAdversarial(rng, dst, special)
+				if err := MatMulATInto(dst, a, b); err != nil {
+					t.Fatalf("MatMulATInto k=%d shape=%v: %v", workers, sh, err)
+				}
+				if !bitsEqual(dst, want) {
+					t.Fatalf("MatMulATInto k=%d shape=%v special=%v differs from naive", workers, sh, special)
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulBTIntoMatchesNaiveBitwise(t *testing.T) {
+	forcePool(t)
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range intoShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, special := range []bool{false, true} {
+			a := MustNew(m, k)
+			b := MustNew(n, k) // dst = a b^T is m x n
+			fillAdversarial(rng, a, special)
+			fillAdversarial(rng, b, special)
+			want, err := MatMulBT(a, b)
+			if err != nil {
+				t.Fatalf("MatMulBT shape=%v: %v", sh, err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				SetParallelism(workers)
+				dst := MustNew(m, n)
+				fillAdversarial(rng, dst, special)
+				if err := MatMulBTInto(dst, a, b); err != nil {
+					t.Fatalf("MatMulBTInto k=%d shape=%v: %v", workers, sh, err)
+				}
+				if !bitsEqual(dst, want) {
+					t.Fatalf("MatMulBTInto k=%d shape=%v special=%v differs from naive", workers, sh, special)
+				}
+			}
+		}
+	}
+}
+
+func TestSumRowsIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, sh := range [][2]int{{1, 1}, {1, 9}, {9, 1}, {13, 17}, {200, 3}} {
+		m := MustNew(sh[0], sh[1])
+		fillAdversarial(rng, m, true)
+		want := m.SumRows()
+		dst := MustNew(1, sh[1])
+		fillAdversarial(rng, dst, true)
+		if err := m.SumRowsInto(dst); err != nil {
+			t.Fatalf("SumRowsInto %v: %v", sh, err)
+		}
+		if !bitsEqual(dst, want) {
+			t.Fatalf("SumRowsInto %v differs from SumRows", sh)
+		}
+	}
+}
+
+func TestReLUIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, sh := range [][2]int{{1, 1}, {3, 5}, {40, 7}} {
+		m := MustNew(sh[0], sh[1])
+		fillAdversarial(rng, m, true)
+		ref := m.Clone()
+		wantMask := ref.ReLU()
+		mask := MustNew(sh[0], sh[1])
+		fillAdversarial(rng, mask, false) // stale mask must be fully rewritten
+		if err := m.ReLUInto(mask); err != nil {
+			t.Fatalf("ReLUInto %v: %v", sh, err)
+		}
+		if !bitsEqual(m, ref) {
+			t.Fatalf("ReLUInto %v activation differs from ReLU", sh)
+		}
+		if !bitsEqual(mask, wantMask) {
+			t.Fatalf("ReLUInto %v mask differs from ReLU", sh)
+		}
+	}
+}
+
+func TestIntoKernelShapeAndAliasValidation(t *testing.T) {
+	a := MustNew(2, 3)
+	b := MustNew(3, 4)
+	if err := MatMulInto(MustNew(2, 3), a, b); err == nil {
+		t.Fatal("wrong-shape dst accepted")
+	}
+	if err := MatMulInto(a, a, b); err == nil {
+		t.Fatal("dst aliasing a accepted")
+	}
+	if err := MatMulATInto(MustNew(3, 4), a, MustNew(3, 4)); err == nil {
+		t.Fatal("matmulAT with mismatched inner dims accepted")
+	}
+	if err := MatMulBTInto(MustNew(2, 5), a, MustNew(5, 9)); err == nil {
+		t.Fatal("matmulBT with mismatched inner dims accepted")
+	}
+	m := MustNew(4, 3)
+	if err := m.SumRowsInto(MustNew(2, 3)); err == nil {
+		t.Fatal("wrong-shape sum-rows dst accepted")
+	}
+	if err := m.ReLUInto(MustNew(3, 4)); err == nil {
+		t.Fatal("wrong-shape relu mask accepted")
+	}
+	if err := m.ReLUInto(m); err == nil {
+		t.Fatal("relu mask aliasing input accepted")
+	}
+}
+
+// Fuzz-style differential check: random shapes (including degenerate ones)
+// through every Into kernel at a randomly chosen parallelism level.
+func TestIntoKernelsRandomizedDifferential(t *testing.T) {
+	forcePool(t)
+	rng := rand.New(rand.NewSource(23))
+	levels := []int{1, 2, 3, 8}
+	for iter := 0; iter < 60; iter++ {
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(300)
+		n := 1 + rng.Intn(40)
+		SetParallelism(levels[rng.Intn(len(levels))])
+
+		a := MustNew(m, k)
+		b := MustNew(k, n)
+		fillAdversarial(rng, a, iter%2 == 0)
+		fillAdversarial(rng, b, iter%2 == 0)
+		want, _ := MatMul(a, b)
+		dst := MustNew(m, n)
+		if err := MatMulInto(dst, a, b); err != nil {
+			t.Fatalf("iter %d: MatMulInto: %v", iter, err)
+		}
+		if !bitsEqual(dst, want) {
+			t.Fatalf("iter %d: MatMulInto(%dx%dx%d) at k=%d differs", iter, m, k, n, Parallelism())
+		}
+
+		at := MustNew(k, m)
+		fillAdversarial(rng, at, iter%2 == 0)
+		wantAT, _ := MatMulAT(at, b)
+		dstAT := MustNew(m, n)
+		if err := MatMulATInto(dstAT, at, b); err != nil {
+			t.Fatalf("iter %d: MatMulATInto: %v", iter, err)
+		}
+		if !bitsEqual(dstAT, wantAT) {
+			t.Fatalf("iter %d: MatMulATInto(%dx%dx%d) at k=%d differs", iter, m, k, n, Parallelism())
+		}
+
+		bt := MustNew(n, k)
+		fillAdversarial(rng, bt, iter%2 == 0)
+		wantBT, _ := MatMulBT(a, bt)
+		dstBT := MustNew(m, n)
+		if err := MatMulBTInto(dstBT, a, bt); err != nil {
+			t.Fatalf("iter %d: MatMulBTInto: %v", iter, err)
+		}
+		if !bitsEqual(dstBT, wantBT) {
+			t.Fatalf("iter %d: MatMulBTInto(%dx%dx%d) at k=%d differs", iter, m, k, n, Parallelism())
+		}
+	}
+}
+
+// TestSetParallelismGoroutineAccounting checks that reconfiguring retires
+// the old helper generation synchronously: the resident goroutine count is
+// a deterministic function of the setting.
+func TestSetParallelismGoroutineAccounting(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	base := runtime.NumGoroutine()
+	SetParallelism(5)
+	if got := runtime.NumGoroutine(); got != base+4 {
+		t.Fatalf("5-way pool: %d goroutines, want %d", got, base+4)
+	}
+	SetParallelism(2)
+	if got := runtime.NumGoroutine(); got != base+1 {
+		t.Fatalf("2-way pool: %d goroutines, want %d", got, base+1)
+	}
+	SetParallelism(1)
+	if got := runtime.NumGoroutine(); got != base {
+		t.Fatalf("serial pool: %d goroutines, want %d", got, base)
+	}
+}
+
+// TestMatMulIntoZeroAllocs is the tentpole proof for the kernels: after the
+// operands exist, MatMulInto performs zero allocations per call, serial and
+// parallel alike. AllocsPerRun counts mallocs process-wide, so helper
+// goroutine activity is included in the measurement.
+func TestMatMulIntoZeroAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run in the non-race CI job")
+	}
+	forcePool(t)
+	rng := rand.New(rand.NewSource(29))
+	a := MustNew(64, 64)
+	b := MustNew(64, 64)
+	dst := MustNew(64, 64)
+	a.Randn(rng, 1)
+	b.Randn(rng, 1)
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		if avg := testing.AllocsPerRun(100, func() {
+			if err := MatMulInto(dst, a, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := MatMulATInto(dst, a, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := MatMulBTInto(dst, a, b); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Fatalf("parallelism %d: %v allocs/op, want 0", workers, avg)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Worker pool behind the parallel kernels. The pool partitions a kernel's
+// output rows into blocks and lets a fixed set of resident goroutines claim
+// blocks from an atomic cursor. Determinism contract: every output row is
+// written by exactly one goroutine and each kernel computes a row with the
+// exact accumulation order of its naive reference, so results are
+// bit-identical at every parallelism level (including 1, the serial inline
+// path).
+//
+// The steady-state dispatch is allocation-free: wake/done tokens are
+// zero-size channel sends, the region descriptor lives in pool fields, and
+// the kernels are references to top-level functions (no closures).
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// kernelFn computes output rows [lo, hi) of dst from a and b. A kernel must
+// write only rows it owns so that concurrently executed blocks stay
+// disjoint.
+type kernelFn func(dst, a, b *Matrix, lo, hi int)
+
+// minParallelWork is the approximate multiply-add count below which a
+// kernel runs serially inline: dispatching a few-microsecond matmul to the
+// pool costs more than it saves, and the tiny per-agent matmuls of a
+// many-agent fleet would otherwise contend on the single region lock.
+// Package tests lower it to force small shapes through the pool.
+var minParallelWork = 1 << 15
+
+// pool is the package-wide region executor. One region runs at a time
+// (mu); submitters below the work threshold bypass it entirely.
+type pool struct {
+	k  atomic.Int64 // configured parallelism, including the submitter
+	mu sync.Mutex   // serializes regions and reconfiguration
+
+	stop chan struct{} // close to retire the current helper generation
+	wake chan struct{} // one token per helper starts a region
+	done chan struct{} // one token per helper ends its participation
+	wg   sync.WaitGroup
+
+	// Region descriptor, written by the submitter under mu before the wake
+	// tokens are sent (the channel send publishes the fields to helpers).
+	kern      kernelFn
+	dst, a, b *Matrix
+	rows      int
+	blockRows int
+	next      atomic.Int64
+}
+
+var par = newPool(runtime.GOMAXPROCS(0))
+
+// newPool builds the package pool at init time, so its resident goroutines
+// exist before any test records a goroutine baseline.
+func newPool(k int) *pool {
+	p := &pool{}
+	p.configure(k)
+	return p
+}
+
+// SetParallelism sets the number of goroutines the parallel kernels may use
+// (including the calling one) and returns the previous setting. k <= 1
+// makes every kernel run serially inline. The default is GOMAXPROCS at
+// package initialization. Safe for concurrent use, but reconfiguring while
+// kernels run serializes behind them.
+func SetParallelism(k int) int { return par.configure(k) }
+
+// Parallelism returns the current parallelism setting.
+func Parallelism() int { return int(par.k.Load()) }
+
+// configure retires the current helper generation (waiting for the
+// goroutines to exit, so goroutine counts stay deterministic) and spawns
+// k-1 fresh helpers.
+func (p *pool) configure(k int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k < 1 {
+		k = 1
+	}
+	prev := int(p.k.Load())
+	if p.stop != nil {
+		close(p.stop)
+		p.wg.Wait()
+		p.stop = nil
+	}
+	p.k.Store(int64(k))
+	if k > 1 {
+		p.stop = make(chan struct{})
+		p.wake = make(chan struct{}, k-1)
+		p.done = make(chan struct{}, k-1)
+		p.wg.Add(k - 1)
+		for i := 0; i < k-1; i++ {
+			go p.helper(p.stop, p.wake, p.done)
+		}
+	}
+	return prev
+}
+
+// helper is one resident pool goroutine: it joins every region announced on
+// wake and reports completion on done. The channels are passed explicitly
+// so a retired generation never touches its successor's channels.
+func (p *pool) helper(stop, wake, done chan struct{}) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-wake:
+			p.work()
+			done <- struct{}{}
+		}
+	}
+}
+
+// work claims row blocks until the region is exhausted. Claiming is
+// dynamic (atomic cursor) for load balance; determinism is unaffected
+// because block results are independent.
+func (p *pool) work() {
+	for {
+		blk := p.next.Add(1) - 1
+		lo := int(blk) * p.blockRows
+		if lo >= p.rows {
+			return
+		}
+		hi := lo + p.blockRows
+		if hi > p.rows {
+			hi = p.rows
+		}
+		p.kern(p.dst, p.a, p.b, lo, hi)
+	}
+}
+
+// run executes kern over rows output rows, fanning out to the pool when the
+// estimated work (multiply-adds) is large enough to amortize dispatch.
+func (p *pool) run(kern kernelFn, dst, a, b *Matrix, rows, work int) {
+	if rows < 2 || work < minParallelWork || p.k.Load() < 2 {
+		kern(dst, a, b, 0, rows)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	helpers := int(p.k.Load()) - 1
+	if helpers == 0 { // raced with SetParallelism(1)
+		kern(dst, a, b, 0, rows)
+		return
+	}
+	p.kern, p.dst, p.a, p.b = kern, dst, a, b
+	p.rows = rows
+	p.blockRows = blockRowsFor(rows, helpers+1)
+	p.next.Store(0)
+	for i := 0; i < helpers; i++ {
+		p.wake <- struct{}{}
+	}
+	p.work() // the submitter participates
+	for i := 0; i < helpers; i++ {
+		<-p.done
+	}
+	p.kern, p.dst, p.a, p.b = nil, nil, nil, nil
+}
+
+// blockRowsFor picks the claim granularity: a handful of blocks per worker
+// for load balance, but never so small that claim traffic dominates.
+func blockRowsFor(rows, k int) int {
+	b := rows / (4 * k)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

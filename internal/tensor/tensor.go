@@ -92,7 +92,146 @@ func (m *Matrix) Axpy(a float64, x *Matrix) error {
 	return nil
 }
 
-// MatMul returns a*b.
+// aliases reports whether two matrices share the same backing array start
+// (the full-overlap case the Into kernels must reject; partial overlap via
+// hand-built subslices is the caller's responsibility).
+func aliases(x, y *Matrix) bool {
+	return len(x.Data) > 0 && len(y.Data) > 0 && &x.Data[0] == &y.Data[0]
+}
+
+// kBlock is the tile width of the shared dimension in the blocked matmul
+// kernels: one tile of b (kBlock rows) stays cache-resident while a block
+// of output rows streams over it. Within each output element the iteration
+// order stays k-ascending, so blocked results are bit-identical to the
+// naive kernels.
+const kBlock = 128
+
+// MatMulInto computes dst = a*b into the caller-owned dst, allocation-free
+// and (for large shapes) on the package worker pool. dst must not alias a
+// or b. Results are bit-identical to MatMul at every parallelism level:
+// each output row is owned by exactly one goroutine and accumulates in the
+// same k-ascending order as the naive kernel.
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("tensor: matmul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmul into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		return fmt.Errorf("tensor: matmul destination aliases an operand")
+	}
+	par.run(matMulRows, dst, a, b, dst.Rows, a.Rows*a.Cols*b.Cols)
+	return nil
+}
+
+// matMulRows computes rows [lo, hi) of dst = a*b with k-blocking.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for k0 := 0; k0 < a.Cols; k0 += kBlock {
+		k1 := k0 + kBlock
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulATInto computes dst = aᵀ*b into the caller-owned dst (see
+// MatMulInto for the aliasing and determinism contract).
+func MatMulATInto(dst, a, b *Matrix) error {
+	if a.Rows != b.Rows {
+		return fmt.Errorf("tensor: matmulAT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmulAT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols)
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		return fmt.Errorf("tensor: matmulAT destination aliases an operand")
+	}
+	par.run(matMulATRows, dst, a, b, dst.Rows, a.Rows*a.Cols*b.Cols)
+	return nil
+}
+
+// matMulATRows computes rows [lo, hi) of dst = aᵀ*b. The k loop (rows of a
+// and b) stays outermost, matching the naive MatMulAT accumulation order
+// per output element.
+func matMulATRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBTInto computes dst = a*bᵀ into the caller-owned dst (see
+// MatMulInto for the aliasing and determinism contract).
+func MatMulBTInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmulBT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("tensor: matmulBT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows)
+	}
+	if aliases(dst, a) || aliases(dst, b) {
+		return fmt.Errorf("tensor: matmulBT destination aliases an operand")
+	}
+	par.run(matMulBTRows, dst, a, b, dst.Rows, a.Rows*a.Cols*b.Rows)
+	return nil
+}
+
+// matMulBTRows computes rows [lo, hi) of dst = a*bᵀ as row-dot-products,
+// exactly as the naive MatMulBT does.
+func matMulBTRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k := range arow {
+				sum += arow[k] * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+}
+
+// MatMul returns a*b. It is the allocating naive reference; hot paths use
+// MatMulInto with a reused destination.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("tensor: matmul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -183,6 +322,27 @@ func (m *Matrix) SumRows() *Matrix {
 	return out
 }
 
+// SumRowsInto writes the 1 x Cols column sums of m into the caller-owned
+// dst, allocation-free. dst must not alias m.
+func (m *Matrix) SumRowsInto(dst *Matrix) error {
+	if dst.Rows != 1 || dst.Cols != m.Cols {
+		return fmt.Errorf("tensor: sum rows of %dx%d into %dx%d", m.Rows, m.Cols, dst.Rows, dst.Cols)
+	}
+	if aliases(dst, m) {
+		return fmt.Errorf("tensor: sum rows destination aliases the source")
+	}
+	for j := range dst.Data {
+		dst.Data[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			dst.Data[j] += row[j]
+		}
+	}
+	return nil
+}
+
 // Apply maps f over all elements in place.
 func (m *Matrix) Apply(f func(float64) float64) {
 	for i := range m.Data {
@@ -202,6 +362,27 @@ func (m *Matrix) ReLU() *Matrix {
 		}
 	}
 	return mask
+}
+
+// ReLUInto applies max(0, x) to m in place and writes the positive-input
+// mask into the caller-owned mask (1 where the input was positive, 0
+// elsewhere), allocation-free. mask must not alias m.
+func (m *Matrix) ReLUInto(mask *Matrix) error {
+	if mask.Rows != m.Rows || mask.Cols != m.Cols {
+		return fmt.Errorf("tensor: relu mask %dx%d for %dx%d", mask.Rows, mask.Cols, m.Rows, m.Cols)
+	}
+	if aliases(mask, m) {
+		return fmt.Errorf("tensor: relu mask aliases the input")
+	}
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			mask.Data[i] = 0
+			m.Data[i] = 0
+		}
+	}
+	return nil
 }
 
 // Hadamard computes m *= x elementwise.

@@ -1,0 +1,72 @@
+package worker
+
+import (
+	"testing"
+
+	"github.com/elan-sys/elan/internal/collective"
+	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/racecheck"
+)
+
+// TestAgentStepZeroAllocs is the tentpole proof at the worker layer: once
+// the agent's batch buffers, network workspaces and flat gradient vector
+// are warm, a full training step — batch materialization, forward, loss,
+// backward, allreduce, optimizer — allocates nothing. The step body is
+// driven directly (the agent loop is idle), excluding only the mailbox
+// round-trip; a single-rank group makes the allreduce a no-op so the
+// collective transport is measured separately in its own package.
+func TestAgentStepZeroAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("race instrumentation allocates; alloc guards run in the non-race CI job")
+	}
+	ds, err := data.GenGaussianMixture(1, 512, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newAgent("bench-0", 1, []int{8, 32, 32, 3}, 0.05, 0.9, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.stop()
+	g, err := collective.NewGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	cmd := command{kind: stepCmd, rank: 0, n: 1, lo: 0, hi: 32, lr: 0.05, group: g}
+	if r := a.step(ds, cmd); r.err != nil { // warm the workspaces
+		t.Fatal(r.err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if r := a.step(ds, cmd); r.err != nil {
+			t.Fatal(r.err)
+		}
+	}); avg != 0 {
+		t.Fatalf("%v allocs per agent step, want 0", avg)
+	}
+}
+
+// TestAgentStepRejectsEmptyShard covers the guard that protects the reused
+// batch buffers from degenerate shard ranges.
+func TestAgentStepRejectsEmptyShard(t *testing.T) {
+	ds, err := data.GenGaussianMixture(1, 64, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newAgent("bench-1", 1, []int{4, 8, 2}, 0.05, 0.9, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.stop()
+	g, err := collective.NewGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if r := a.step(ds, command{kind: stepCmd, rank: 0, n: 1, lo: 5, hi: 5, lr: 0.1, group: g}); r.err == nil {
+		t.Fatal("empty shard accepted")
+	}
+	if r := a.step(ds, command{kind: stepCmd, rank: 0, n: 1, lo: 9, hi: 5, lr: 0.1, group: g}); r.err == nil {
+		t.Fatal("inverted shard accepted")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/elan-sys/elan/internal/nn"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/telemetry"
+	"github.com/elan-sys/elan/internal/tensor"
 	"github.com/elan-sys/elan/internal/transport"
 )
 
@@ -83,6 +84,14 @@ type Agent struct {
 	// errAgentDead instead of blocking.
 	killed   chan struct{}
 	killOnce sync.Once
+
+	// Step workspace, reused across iterations so the steady-state step
+	// performs no heap allocations: the flat gradient vector for the
+	// allreduce and the materialized batch. All are touched only by the
+	// agent goroutine (and, for flat's warm-up sizing, the first step).
+	flat   []float64
+	batchX *tensor.Matrix
+	batchY []int
 }
 
 // newAgent builds an agent with a deterministic replica and starts its
@@ -135,29 +144,39 @@ func (a *Agent) loop(ds *data.Dataset) {
 }
 
 // step runs one data-parallel iteration: local forward/backward on the
-// shard, ring allreduce of the gradients, optimizer update.
+// shard, ring allreduce of the gradients, optimizer update. Everything it
+// touches after warm-up is agent-owned and reused — the batch buffers, the
+// network workspaces, and the flat gradient vector — so a steady-state
+// step allocates nothing.
 func (a *Agent) step(ds *data.Dataset, cmd command) result {
-	x, y, err := ds.Batch(cmd.lo, cmd.hi)
-	if err != nil {
+	n := cmd.hi - cmd.lo
+	if n <= 0 {
+		return result{err: fmt.Errorf("worker: empty shard [%d, %d)", cmd.lo, cmd.hi)}
+	}
+	if a.batchX == nil || a.batchX.Rows != n {
+		a.batchX = tensor.MustNew(n, ds.Features)
+		a.batchY = make([]int, n)
+	}
+	if err := ds.BatchInto(a.batchX, a.batchY, cmd.lo, cmd.hi); err != nil {
 		return result{err: err}
 	}
 	a.net.ZeroGrads()
-	out, err := a.net.Forward(x)
+	out, err := a.net.Forward(a.batchX)
 	if err != nil {
 		return result{err: err}
 	}
-	loss, grad, err := nn.SoftmaxCrossEntropy(out, y)
+	loss, grad, err := a.net.SoftmaxLoss(out, a.batchY)
 	if err != nil {
 		return result{err: err}
 	}
 	if err := a.net.Backward(grad); err != nil {
 		return result{err: err}
 	}
-	flat := a.net.FlattenGrads(nil)
-	if err := cmd.group.AllReduceMean(cmd.rank, flat); err != nil {
+	a.flat = a.net.FlattenGrads(a.flat[:0])
+	if err := cmd.group.AllReduceMean(cmd.rank, a.flat); err != nil {
 		return result{err: err}
 	}
-	if err := a.net.LoadGrads(flat); err != nil {
+	if err := a.net.LoadGrads(a.flat); err != nil {
 		return result{err: err}
 	}
 	a.opt.LR = cmd.lr
@@ -981,7 +1000,7 @@ func (f *Fleet) Evaluate(ds *data.Dataset) (loss, acc float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	loss, _, err = nn.SoftmaxCrossEntropy(out, y)
+	loss, _, err = a.net.SoftmaxLoss(out, y)
 	if err != nil {
 		return 0, 0, err
 	}
