@@ -8,6 +8,7 @@
 //	elan-bench -exp fig20 -quick           # short trace for a fast run
 //	elan-bench -adjust-trace adjust.json   # trace one scaling adjustment
 //	elan-bench -json hotpath.json          # hot-path micro-benchmark report
+//	elan-bench -collective coll.json       # flat vs hierarchical allreduce report
 package main
 
 import (
@@ -29,7 +30,16 @@ func main() {
 		"write a Chrome trace-event JSON file of one live scale-out adjustment and exit")
 	jsonOut := flag.String("json", "",
 		"run the hot-path micro-benchmarks (matmul, train step, allreduce) and write ns/op, allocs/op and B/op to this JSON file")
+	collOut := flag.String("collective", "",
+		"measure flat vs hierarchical allreduce in-process and simulate both under the analytic comm model; write the report to this JSON file")
 	flag.Parse()
+	if *collOut != "" {
+		if err := writeCollectiveJSON(*collOut, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		if err := writeHotpathJSON(*jsonOut, *quick, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "elan-bench:", err)

@@ -10,6 +10,7 @@ import (
 	"github.com/elan-sys/elan/internal/data"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/telemetry"
+	"github.com/elan-sys/elan/internal/topology"
 	"github.com/elan-sys/elan/internal/transport"
 	"github.com/elan-sys/elan/internal/worker"
 )
@@ -26,6 +27,12 @@ type Config struct {
 	Schedule   Schedule
 	Metrics    *telemetry.Registry // optional; harness counters land here
 	Tracer     telemetry.Tracer    // optional
+	// Cluster places the fleet on simulated GPUs: group reconstruction
+	// after every crash, rejoin and adjustment then re-reserves GPUs and
+	// rebuilds the topology-aware (possibly hierarchical) collective.
+	Cluster *topology.Cluster
+	// BucketElems enables gradient bucketing in the fleet's reducers.
+	BucketElems int
 }
 
 // Harness owns a fully wired rig — sim clock, bus with the fault hook
@@ -89,18 +96,20 @@ func New(cfg Config) (*Harness, error) {
 		return nil, err
 	}
 	fleet, err := worker.NewFleet(worker.FleetConfig{
-		Dataset:    ds,
-		LayerSizes: []int{4, 16, 3},
-		Workers:    cfg.Workers,
-		TotalBatch: cfg.TotalBatch,
-		LR:         cfg.LR,
-		Momentum:   0.9,
-		Seed:       cfg.Seed,
-		Bus:        bus,
-		Clock:      sim,
-		Store:      st,
-		Tracer:     cfg.Tracer,
-		Metrics:    cfg.Metrics,
+		Dataset:     ds,
+		LayerSizes:  []int{4, 16, 3},
+		Workers:     cfg.Workers,
+		TotalBatch:  cfg.TotalBatch,
+		LR:          cfg.LR,
+		Momentum:    0.9,
+		Seed:        cfg.Seed,
+		Bus:         bus,
+		Clock:       sim,
+		Store:       st,
+		Tracer:      cfg.Tracer,
+		Metrics:     cfg.Metrics,
+		Cluster:     cfg.Cluster,
+		BucketElems: cfg.BucketElems,
 	})
 	if err != nil {
 		stopAuto()

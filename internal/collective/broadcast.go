@@ -27,7 +27,7 @@ func (g *Group) Broadcast(rank, root int, vec []float64) error {
 	pos := ((rank-root)%g.n + g.n) % g.n
 	last := g.n - 1
 	for c := 0; c < g.n; c++ {
-		lo, hi := g.chunkBounds(len(vec), c)
+		lo, hi := bounds(len(vec), g.n, c)
 		if pos == 0 {
 			// Root: send each chunk once.
 			out := make([]float64, hi-lo)
@@ -41,7 +41,7 @@ func (g *Group) Broadcast(rank, root int, vec []float64) error {
 		if err != nil {
 			return err
 		}
-		mlo, mhi := g.chunkBounds(len(vec), m.idx)
+		mlo, mhi := bounds(len(vec), g.n, m.idx)
 		if mhi-mlo != len(m.data) {
 			return fmt.Errorf("collective: broadcast chunk %d size mismatch at rank %d", m.idx, rank)
 		}

@@ -4,10 +4,14 @@
 // reconstruction, which the elastic runtime performs after every resource
 // adjustment (Section II, step 5).
 //
-// The allreduce is the textbook two-phase ring: a reduce-scatter of N chunks
-// over N-1 steps followed by an allgather over N-1 steps. Each rank runs in
-// its own goroutine, so the gradient math of the pure-Go training substrate
-// is genuinely distributed rather than simulated.
+// Groups are topology-aware. A flat placement (every rank on one node) runs
+// the textbook two-phase ring: a reduce-scatter of N chunks over N-1 steps
+// followed by an allgather over N-1 steps. A placement spanning nodes runs
+// the two-tier hierarchy of hierarchical.go: intra-node rings at L1/L2 plus
+// a single cross-node leader ring at L4, so only node leaders pay the
+// slowest-link price. Each rank runs in its own goroutine, so the gradient
+// math of the pure-Go training substrate is genuinely distributed rather
+// than simulated.
 package collective
 
 import (
@@ -27,22 +31,24 @@ type chunkMsg struct {
 	data []float64
 }
 
-// rankScratch is one rank's double-buffered chunk arena for the ring
-// allreduce. Ownership protocol: a send hands the buffer to the successor
-// for good (the channel send is the transfer point), and every receive
-// deposits the incoming buffer into the receiver's arena for its next
-// send. Buffers therefore migrate around the ring — what ping-pongs is the
-// arena slot, not a fixed buffer — and no rank ever writes a buffer its
-// neighbor might still be reading. Each step performs one withdrawal and
-// one deposit, so after ensure primes the two halves the arena never
-// allocates again for that vector size.
+// rankScratch is one rank's chunk arena for the ring stages. Ownership
+// protocol: a send hands the buffer to the receiver for good (the channel
+// send is the transfer point), and every receive deposits the incoming
+// buffer into the receiver's arena for its next send. Buffers therefore
+// migrate around the group — what cycles is the arena slot, not a fixed
+// buffer — and no rank ever writes a buffer its neighbor might still be
+// reading. The free list is a dynamic stack because the hierarchical path
+// is unbalanced within a call: a node leader absorbs one buffer per member
+// during the gather stage and pays them all back during the scatter stage,
+// so its pool transiently holds up to g+1 buffers. Once the stack has grown
+// to the protocol's high-water mark (first call), steady state performs one
+// withdrawal per deposit and never allocates.
 type rankScratch struct {
-	free   [2][]float64
-	n      int
+	free   [][]float64
 	capPer int
 }
 
-// ensure sizes both halves for chunks of up to maxChunk elements. Sized at
+// ensure primes the arena for chunks of up to maxChunk elements. Sized at
 // first use (and re-sized only if a later allreduce needs larger chunks);
 // migrated buffers from other ranks are interchangeable because every rank
 // primes to the same maxChunk.
@@ -50,19 +56,22 @@ func (s *rankScratch) ensure(maxChunk int) {
 	if s.capPer >= maxChunk {
 		return
 	}
-	s.free[0] = make([]float64, maxChunk)
-	s.free[1] = make([]float64, maxChunk)
-	s.n = 2
+	for i := range s.free {
+		s.free[i] = nil
+	}
+	s.free = s.free[:0]
+	s.free = append(s.free, make([]float64, maxChunk), make([]float64, maxChunk))
 	s.capPer = maxChunk
 }
 
 // get withdraws a buffer of length need, allocating only if the arena was
-// drained by a prior error path.
+// drained by a prior error path. Undersized buffers (migrants primed before
+// a re-size) are dropped rather than returned.
 func (s *rankScratch) get(need int) []float64 {
-	if s.n > 0 {
-		s.n--
-		b := s.free[s.n]
-		s.free[s.n] = nil
+	for len(s.free) > 0 {
+		b := s.free[len(s.free)-1]
+		s.free[len(s.free)-1] = nil
+		s.free = s.free[:len(s.free)-1]
 		if cap(b) >= need {
 			return b[:need]
 		}
@@ -70,12 +79,9 @@ func (s *rankScratch) get(need int) []float64 {
 	return make([]float64, need)
 }
 
-// put deposits a buffer received from the ring predecessor.
+// put deposits a buffer received from a peer.
 func (s *rankScratch) put(b []float64) {
-	if s.n < len(s.free) {
-		s.free[s.n] = b
-		s.n++
-	}
+	s.free = append(s.free, b)
 }
 
 // Group is a communication group of n ranks. All ranks must call AllReduce
@@ -83,8 +89,20 @@ func (s *rankScratch) put(b []float64) {
 // A Group is safe for concurrent use by its n member goroutines.
 type Group struct {
 	n int
-	// ring[i] carries messages from rank i to rank (i+1)%n.
+	// ring[i] carries messages from rank i to rank (i+1)%n: the channel
+	// fabric of the flat ring and of Broadcast.
 	ring []chan chunkMsg
+	// pair[a][b] carries messages from rank a to rank b. The global ring
+	// edges alias ring[a]; hierarchical groups add the extra directed edges
+	// their stages use (intra-node rings, member<->leader, leader ring).
+	// Unused edges stay nil.
+	pair [][]chan chunkMsg
+	// allRanks is [0, 1, ..., n-1]: the member list of the flat ring.
+	allRanks []int
+	// lay is the two-tier decomposition of the group's topology, nil when
+	// the placement fits one node and the group runs the flat ring.
+	lay *hierLayout
+
 	// barrier support
 	barrierMu  sync.Mutex
 	barrierN   int
@@ -109,23 +127,77 @@ type Group struct {
 	mElements    *telemetry.Counter
 }
 
-// NewGroup constructs a communication group with n ranks.
+// NewGroup constructs a communication group with n ranks on the flat
+// single-node topology: NewGroupWithTopology(Flat(n)).
 func NewGroup(n int) (*Group, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("collective: non-positive group size %d", n)
 	}
+	return NewGroupWithTopology(Flat(n))
+}
+
+// NewGroupWithTopology constructs a communication group whose reduction
+// structure matches the placement described by t. A single-node placement
+// yields the classic flat ring, bit-for-bit identical to NewGroup; a
+// placement spanning nodes yields the two-tier hierarchical engine. The
+// reduction order of either engine is specified executably by
+// ReferenceAllReduce.
+func NewGroupWithTopology(t Topology) (*Group, error) {
+	n := t.Ranks()
+	if n <= 0 {
+		return nil, fmt.Errorf("collective: non-positive group size %d", n)
+	}
 	g := &Group{
-		n:       n,
-		ring:    make([]chan chunkMsg, n),
-		closed:  make(chan struct{}),
-		scratch: make([]rankScratch, n),
-		tr:      telemetry.Nop{},
+		n:        n,
+		ring:     make([]chan chunkMsg, n),
+		pair:     make([][]chan chunkMsg, n),
+		allRanks: make([]int, n),
+		closed:   make(chan struct{}),
+		scratch:  make([]rankScratch, n),
+		tr:       telemetry.Nop{},
 	}
 	for i := range g.ring {
 		g.ring[i] = make(chan chunkMsg, 1)
+		g.pair[i] = make([]chan chunkMsg, n)
+		g.pair[i][(i+1)%n] = g.ring[i]
+		g.allRanks[i] = i
 	}
 	g.barrierC = sync.NewCond(&g.barrierMu)
+	if lay := layoutOf(t); len(lay.nodes) > 1 {
+		g.lay = lay
+		g.wireHierEdges(lay)
+	}
 	return g, nil
+}
+
+// wireHierEdges creates the directed channels the hierarchical stages use
+// beyond the global ring: each node's intra ring, each member's two edges
+// to its leader, and the leader ring. Edges that coincide with a global
+// ring edge reuse it.
+func (g *Group) wireHierEdges(lay *hierLayout) {
+	edge := func(a, b int) {
+		if g.pair[a][b] == nil {
+			g.pair[a][b] = make(chan chunkMsg, 1)
+		}
+	}
+	for _, members := range lay.nodes {
+		gn := len(members)
+		if gn == 1 {
+			continue
+		}
+		leader := members[0]
+		for k, r := range members {
+			edge(r, members[(k+1)%gn])
+			if r != leader {
+				edge(r, leader)
+				edge(leader, r)
+			}
+		}
+	}
+	m := len(lay.leaders)
+	for j, l := range lay.leaders {
+		edge(l, lay.leaders[(j+1)%m])
+	}
 }
 
 // SetTelemetry attaches tracing and metrics to the group: every AllReduce
@@ -152,6 +224,10 @@ func (g *Group) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry, clk c
 // Size returns the number of ranks.
 func (g *Group) Size() int { return g.n }
 
+// Hierarchical reports whether the group runs the two-tier engine (true
+// exactly when its topology spans more than one node).
+func (g *Group) Hierarchical() bool { return g.lay != nil }
+
 // Close aborts pending collectives; blocked ranks return ErrClosed.
 func (g *Group) Close() {
 	g.closeOnce.Do(func() {
@@ -164,46 +240,53 @@ func (g *Group) Close() {
 	})
 }
 
-func (g *Group) send(from int, msg chunkMsg) error {
+// sendTo delivers msg on the directed edge from -> to.
+func (g *Group) sendTo(from, to int, msg chunkMsg) error {
 	select {
-	case g.ring[from] <- msg:
+	case g.pair[from][to] <- msg:
 		return nil
 	case <-g.closed:
 		return ErrClosed
 	}
 }
 
-func (g *Group) recv(to int) (chunkMsg, error) {
-	from := (to - 1 + g.n) % g.n
+// recvFrom receives the next message on the directed edge from -> to.
+func (g *Group) recvFrom(from, to int) (chunkMsg, error) {
 	select {
-	case m := <-g.ring[from]:
+	case m := <-g.pair[from][to]:
 		return m, nil
 	case <-g.closed:
 		return chunkMsg{}, ErrClosed
 	}
 }
 
-// chunkBounds returns the [lo, hi) range of chunk idx for a vector of length
-// total split into g.n chunks.
-func (g *Group) chunkBounds(total, idx int) (int, int) {
-	base := total / g.n
-	rem := total % g.n
-	lo := idx*base + min(idx, rem)
-	size := base
-	if idx < rem {
-		size++
-	}
-	return lo, lo + size
+func (g *Group) send(from int, msg chunkMsg) error {
+	return g.sendTo(from, (from+1)%g.n, msg)
+}
+
+func (g *Group) recv(to int) (chunkMsg, error) {
+	return g.recvFrom((to-1+g.n)%g.n, to)
 }
 
 // AllReduce sums vec elementwise across all ranks, in place. Every rank must
 // call it with a vector of identical length; on return every rank holds the
 // global sum. rank identifies the caller in [0, n). A group that never had
-// SetTelemetry attached runs the bare ring with zero instrumentation cost
+// SetTelemetry attached runs the bare engine with zero instrumentation cost
 // and zero steady-state allocations.
 func (g *Group) AllReduce(rank int, vec []float64) error {
+	return g.allReduceTagged(rank, vec, -1)
+}
+
+// AllReduceBucket is AllReduce for one gradient bucket: identical reduction,
+// but the telemetry span additionally carries the bucket index so overlap
+// schedules can be read off the trace. bucket must be >= 0.
+func (g *Group) AllReduceBucket(rank int, vec []float64, bucket int) error {
+	return g.allReduceTagged(rank, vec, bucket)
+}
+
+func (g *Group) allReduceTagged(rank int, vec []float64, bucket int) error {
 	if !g.instrumented {
-		return g.allReduce(rank, vec)
+		return g.reduce(rank, vec)
 	}
 	span := g.tr.StartSpan("collective.allreduce")
 	span.Annotate("link", g.link)
@@ -211,8 +294,16 @@ func (g *Group) AllReduce(rank int, vec []float64) error {
 	span.AnnotateInt("ranks", g.n)
 	span.AnnotateInt("elements", len(vec))
 	span.AnnotateInt("chunk", (len(vec)+g.n-1)/g.n)
+	if bucket >= 0 {
+		span.AnnotateInt("bucket", bucket)
+	}
+	if g.lay != nil {
+		span.Annotate("intra_link", g.lay.intraLevel.String())
+		span.Annotate("leader_link", g.lay.leaderLevel.String())
+		span.AnnotateInt("nodes", len(g.lay.nodes))
+	}
 	start := g.clk.Now()
-	err := g.allReduce(rank, vec)
+	err := g.reduce(rank, vec)
 	g.mSeconds.Observe(g.clk.Since(start).Seconds())
 	g.mOps.Inc()
 	g.mElements.Add(int64(len(vec)))
@@ -223,65 +314,98 @@ func (g *Group) AllReduce(rank int, vec []float64) error {
 	return err
 }
 
-// allReduce is the uninstrumented two-phase ring. Outgoing chunks are
-// copied into recycled arena buffers (see rankScratch) instead of fresh
-// allocations: the send transfers buffer ownership to the successor rank
-// and each receive deposits the predecessor's buffer for reuse.
-func (g *Group) allReduce(rank int, vec []float64) error {
+// reduce dispatches to the engine matching the group's topology.
+func (g *Group) reduce(rank int, vec []float64) error {
 	if rank < 0 || rank >= g.n {
 		return fmt.Errorf("collective: rank %d out of [0, %d)", rank, g.n)
 	}
 	if g.n == 1 {
 		return nil
 	}
-	n := g.n
-	maxChunk := len(vec) / n
-	if len(vec)%n != 0 {
-		maxChunk++
+	if g.lay != nil {
+		return g.hierAllReduce(rank, vec)
 	}
-	sc := &g.scratch[rank]
-	sc.ensure(maxChunk)
-	// Phase 1: reduce-scatter. At step s (0-based), rank r sends chunk
-	// (r-s) mod n and receives chunk (r-s-1) mod n, accumulating into it.
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((rank-s)%n + n) % n
-		lo, hi := g.chunkBounds(len(vec), sendIdx)
+	return g.flatAllReduce(rank, vec)
+}
+
+// flatAllReduce is the uninstrumented two-phase ring over all ranks.
+// Outgoing chunks are copied into recycled arena buffers (see rankScratch)
+// instead of fresh allocations: the send transfers buffer ownership to the
+// successor rank and each receive deposits the predecessor's buffer for
+// reuse.
+func (g *Group) flatAllReduce(rank int, vec []float64) error {
+	g.scratch[rank].ensure(ceilDiv(len(vec), g.n))
+	if err := g.ringReduceScatter(g.allRanks, rank, vec); err != nil {
+		return err
+	}
+	return g.ringAllGather(g.allRanks, rank, vec)
+}
+
+// ringReduceScatter runs the reduce-scatter half of the ring over the ranks
+// in members (len >= 2), with the caller at position pos, splitting vec
+// into len(members) chunks. At step s (0-based), position p sends chunk
+// (p-s) mod gn to its successor and receives chunk (p-s-1) mod gn from its
+// predecessor, accumulating into it. On return, position p holds the fully
+// reduced chunk (p+1) mod gn; chunk c's value is the left fold of the
+// members' values in ascending position order starting at position c.
+func (g *Group) ringReduceScatter(members []int, pos int, vec []float64) error {
+	gn := len(members)
+	me := members[pos]
+	succ := members[(pos+1)%gn]
+	pred := members[(pos-1+gn)%gn]
+	sc := &g.scratch[me]
+	for s := 0; s < gn-1; s++ {
+		sendIdx := ((pos-s)%gn + gn) % gn
+		lo, hi := bounds(len(vec), gn, sendIdx)
 		out := sc.get(hi - lo)
 		copy(out, vec[lo:hi])
-		if err := g.send(rank, chunkMsg{idx: sendIdx, data: out}); err != nil {
+		if err := g.sendTo(me, succ, chunkMsg{idx: sendIdx, data: out}); err != nil {
 			return err
 		}
-		m, err := g.recv(rank)
+		m, err := g.recvFrom(pred, me)
 		if err != nil {
 			return err
 		}
-		lo, hi = g.chunkBounds(len(vec), m.idx)
+		lo, hi = bounds(len(vec), gn, m.idx)
 		if hi-lo != len(m.data) {
 			return fmt.Errorf("collective: rank %d got chunk %d of %d values, want %d (vector length mismatch across ranks?)",
-				rank, m.idx, len(m.data), hi-lo)
+				me, m.idx, len(m.data), hi-lo)
 		}
 		for i, v := range m.data {
 			vec[lo+i] += v
 		}
 		sc.put(m.data)
 	}
-	// Phase 2: allgather. At step s, rank r sends chunk (r+1-s) mod n and
-	// receives chunk (r-s) mod n, overwriting it.
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((rank+1-s)%n + n) % n
-		lo, hi := g.chunkBounds(len(vec), sendIdx)
+	return nil
+}
+
+// ringAllGather runs the allgather half of the ring over the ranks in
+// members (len >= 2), with the caller at position pos. It requires the
+// reduce-scatter ownership invariant: position p holds the final value of
+// chunk (p+1) mod gn. At step s, position p sends chunk (p+1-s) mod gn and
+// receives chunk (p-s) mod gn, overwriting it; after gn-1 steps every
+// member holds every chunk.
+func (g *Group) ringAllGather(members []int, pos int, vec []float64) error {
+	gn := len(members)
+	me := members[pos]
+	succ := members[(pos+1)%gn]
+	pred := members[(pos-1+gn)%gn]
+	sc := &g.scratch[me]
+	for s := 0; s < gn-1; s++ {
+		sendIdx := ((pos+1-s)%gn + gn) % gn
+		lo, hi := bounds(len(vec), gn, sendIdx)
 		out := sc.get(hi - lo)
 		copy(out, vec[lo:hi])
-		if err := g.send(rank, chunkMsg{idx: sendIdx, data: out}); err != nil {
+		if err := g.sendTo(me, succ, chunkMsg{idx: sendIdx, data: out}); err != nil {
 			return err
 		}
-		m, err := g.recv(rank)
+		m, err := g.recvFrom(pred, me)
 		if err != nil {
 			return err
 		}
-		lo, hi = g.chunkBounds(len(vec), m.idx)
+		lo, hi = bounds(len(vec), gn, m.idx)
 		if hi-lo != len(m.data) {
-			return fmt.Errorf("collective: rank %d allgather chunk %d size mismatch", rank, m.idx)
+			return fmt.Errorf("collective: rank %d allgather chunk %d size mismatch", me, m.idx)
 		}
 		copy(vec[lo:hi], m.data)
 		sc.put(m.data)
@@ -330,9 +454,7 @@ func (g *Group) Barrier() error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// ceilDiv returns ceil(a/b) for non-negative a and positive b.
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
 }

@@ -1,0 +1,388 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+// placement builds a rank→GPU placement putting counts[j] consecutive ranks
+// on node j.
+func placement(counts ...int) []topology.GPUID {
+	var place []topology.GPUID
+	for node, c := range counts {
+		for i := 0; i < c; i++ {
+			place = append(place, topology.GPUID{Node: node, Index: i})
+		}
+	}
+	return place
+}
+
+// interleaved builds a placement striping n ranks round-robin over nodes
+// GPUs, so node member ranks are non-contiguous.
+func interleaved(n, nodes int) []topology.GPUID {
+	place := make([]topology.GPUID, n)
+	for r := 0; r < n; r++ {
+		place[r] = topology.GPUID{Node: r % nodes, Index: r / nodes}
+	}
+	return place
+}
+
+func mustClustered(t *testing.T, place []topology.GPUID) *Clustered {
+	t.Helper()
+	c, err := NewClustered(place)
+	if err != nil {
+		t.Fatalf("NewClustered: %v", err)
+	}
+	return c
+}
+
+// runTopo runs one allreduce over all ranks of a fresh group for topo and
+// returns the per-rank result vectors.
+func runTopo(t *testing.T, topo Topology, vecs [][]float64) [][]float64 {
+	t.Helper()
+	g, err := NewGroupWithTopology(topo)
+	if err != nil {
+		t.Fatalf("NewGroupWithTopology: %v", err)
+	}
+	defer g.Close()
+	out := make([][]float64, len(vecs))
+	for r := range vecs {
+		out[r] = append([]float64(nil), vecs[r]...)
+	}
+	if err := runCollective(g.Size(), func(rank int) error {
+		return g.AllReduce(rank, out[rank])
+	}); err != nil {
+		t.Fatalf("allreduce: %v", err)
+	}
+	return out
+}
+
+// expectBits asserts got matches want bit for bit (so ±0 and NaN payloads
+// are distinguished, unlike ==).
+func expectBits(t *testing.T, label string, rank int, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s rank %d: length %d, want %d", label, rank, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s rank %d elem %d: %v (%#x), want %v (%#x)",
+				label, rank, i, got[i], math.Float64bits(got[i]),
+				want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func randVecs(rng *rand.Rand, n, length int) [][]float64 {
+	vecs := make([][]float64, n)
+	for r := range vecs {
+		vecs[r] = make([]float64, length)
+		for i := range vecs[r] {
+			// Wide exponent spread makes addition order-sensitive, so any
+			// deviation from the specified accumulation order shows up.
+			vecs[r][i] = rng.NormFloat64() * math.Pow(2, float64(rng.Intn(40)-20))
+		}
+	}
+	return vecs
+}
+
+// TestFlatMatchesReferenceBitwise pins the flat engine to the executable
+// order spec on order-sensitive inputs: the refactor onto the shared ring
+// engine must not have changed a single accumulation.
+func TestFlatMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		for _, length := range []int{1, 2, 5, 17, 100} {
+			vecs := randVecs(rng, n, length)
+			want, err := ReferenceAllReduce(Flat(n), vecs)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got := runTopo(t, Flat(n), vecs)
+			for r := 0; r < n; r++ {
+				expectBits(t, "flat", r, got[r], want)
+			}
+		}
+	}
+}
+
+// TestHierarchicalMatchesReferenceBitwise is the core differential test:
+// the two-tier engine must realize exactly the documented two-level
+// k-ascending fold, across adversarial shapes — 1×1, ragged chunk
+// remainders, node groups of unequal size, singleton nodes (leader-only
+// ranks), ranks not divisible by GPUs per node, and striped placements.
+func TestHierarchicalMatchesReferenceBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		name  string
+		place []topology.GPUID
+	}{
+		{"2nodes-1x1", placement(1, 1)},
+		{"2nodes-4x4", placement(4, 4)},
+		{"2nodes-ragged-3x2", placement(3, 2)},
+		{"2nodes-ragged-1x4", placement(1, 4)},
+		{"3nodes-singletons", placement(1, 1, 1)},
+		{"3nodes-mixed-2x1x3", placement(2, 1, 3)},
+		{"3nodes-7ranks-3x3x1", placement(3, 3, 1)},
+		{"2nodes-striped-8", interleaved(8, 2)},
+		{"3nodes-striped-7", interleaved(7, 3)},
+	}
+	for _, tc := range cases {
+		topo := mustClustered(t, tc.place)
+		for _, length := range []int{1, 2, 3, 7, 16, 17, 100} {
+			vecs := randVecs(rng, topo.Ranks(), length)
+			want, err := ReferenceAllReduce(topo, vecs)
+			if err != nil {
+				t.Fatalf("%s reference: %v", tc.name, err)
+			}
+			got := runTopo(t, topo, vecs)
+			for r := 0; r < topo.Ranks(); r++ {
+				expectBits(t, tc.name, r, got[r], want)
+			}
+		}
+	}
+}
+
+// TestHierarchicalMatchesFlatBitwise proves flat and hierarchical engines
+// agree bit for bit whenever addition is exact, so reduction structure
+// cannot leak into training results: integer-valued floats (no rounding below
+// 2^53), mixed ±0 (IEEE: +0 + -0 = +0 in any order), and Inf patterns.
+func TestHierarchicalMatchesFlatBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 8
+	hier := mustClustered(t, placement(4, 4))
+	build := []struct {
+		name string
+		gen  func(r, i int) float64
+	}{
+		{"integers", func(r, i int) float64 { return float64(rng.Intn(2001) - 1000) }},
+		{"signed-zeros", func(r, i int) float64 {
+			if (r+i)%3 == 0 {
+				return math.Copysign(0, -1)
+			}
+			return 0
+		}},
+		{"all-neg-zero", func(r, i int) float64 { return math.Copysign(0, -1) }},
+		{"infinities", func(r, i int) float64 {
+			if i%2 == 0 {
+				return math.Inf(1)
+			}
+			return math.Inf(1 - 2*(r%2)) // +Inf and -Inf mix → indefinite NaN
+		}},
+	}
+	for _, tc := range build {
+		vecs := make([][]float64, n)
+		for r := range vecs {
+			vecs[r] = make([]float64, 24)
+			for i := range vecs[r] {
+				vecs[r][i] = tc.gen(r, i)
+			}
+		}
+		flatOut := runTopo(t, Flat(n), vecs)
+		hierOut := runTopo(t, hier, vecs)
+		for r := 0; r < n; r++ {
+			expectBits(t, tc.name, r, hierOut[r], flatOut[0])
+			expectBits(t, tc.name+"/flat-agrees", r, flatOut[r], flatOut[0])
+		}
+	}
+}
+
+// TestHierarchicalNaNPropagation: a canonical NaN contributed by one rank
+// must survive both engines at full payload (both engines only ever add it
+// to non-NaN values, so the payload choice is unambiguous).
+func TestHierarchicalNaNPropagation(t *testing.T) {
+	const n = 6
+	hier := mustClustered(t, placement(3, 3))
+	vecs := make([][]float64, n)
+	for r := range vecs {
+		vecs[r] = make([]float64, 8)
+		for i := range vecs[r] {
+			vecs[r][i] = float64(i)
+		}
+	}
+	vecs[2][5] = math.NaN()
+	want, err := ReferenceAllReduce(hier, vecs)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		topo Topology
+	}{{"hier", hier}, {"flat", Flat(n)}} {
+		got := runTopo(t, tc.topo, vecs)
+		for r := 0; r < n; r++ {
+			if !math.IsNaN(got[r][5]) {
+				t.Fatalf("%s rank %d: NaN did not propagate: %v", tc.name, r, got[r][5])
+			}
+			for i := 0; i < 8; i++ {
+				if i == 5 {
+					continue
+				}
+				if math.Float64bits(got[r][i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s rank %d elem %d: %v, want %v", tc.name, r, i, got[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestHierarchicalElasticResize walks a group through the elastic sequence
+// 2 → 8 → 3 with hierarchical placements, reconstructing the group each
+// time as the adjustment procedure does, and checks every incarnation
+// against the reference.
+func TestHierarchicalElasticResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	steps := []struct {
+		name  string
+		place []topology.GPUID
+	}{
+		{"2ranks-2nodes", placement(1, 1)},
+		{"8ranks-2nodes", placement(4, 4)},
+		{"3ranks-2nodes", placement(2, 1)},
+	}
+	for _, st := range steps {
+		topo := mustClustered(t, st.place)
+		vecs := randVecs(rng, topo.Ranks(), 33)
+		want, err := ReferenceAllReduce(topo, vecs)
+		if err != nil {
+			t.Fatalf("%s reference: %v", st.name, err)
+		}
+		got := runTopo(t, topo, vecs) // builds, runs, closes — a reconstruction per step
+		for r := 0; r < topo.Ranks(); r++ {
+			expectBits(t, st.name, r, got[r], want)
+		}
+	}
+}
+
+// TestHierarchicalRepeatedAndResizing exercises one hierarchical group
+// across many collectives with alternating vector lengths: arenas must
+// re-prime and the stage protocol must stay aligned across calls.
+func TestHierarchicalRepeatedAndResizing(t *testing.T) {
+	topo := mustClustered(t, placement(3, 2, 3))
+	g, err := NewGroupWithTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if !g.Hierarchical() {
+		t.Fatal("group not hierarchical")
+	}
+	n := g.Size()
+	rng := rand.New(rand.NewSource(5))
+	for iter, length := range []int{7, 1024, 7, 31, 1, 257, 8} {
+		vecs := randVecs(rng, n, length)
+		want, err := ReferenceAllReduce(topo, vecs)
+		if err != nil {
+			t.Fatalf("iter %d reference: %v", iter, err)
+		}
+		got := make([][]float64, n)
+		for r := range got {
+			got[r] = append([]float64(nil), vecs[r]...)
+		}
+		if err := runCollective(n, func(rank int) error {
+			return g.AllReduce(rank, got[rank])
+		}); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for r := 0; r < n; r++ {
+			expectBits(t, "repeated", r, got[r], want)
+		}
+	}
+}
+
+// TestHierarchicalBroadcastStillWorks: Broadcast rides the global ring,
+// which hierarchical groups keep wired.
+func TestHierarchicalBroadcastStillWorks(t *testing.T) {
+	topo := mustClustered(t, placement(2, 3))
+	g, err := NewGroupWithTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	n := g.Size()
+	vecs := make([][]float64, n)
+	for r := range vecs {
+		vecs[r] = make([]float64, 10)
+		for i := range vecs[r] {
+			vecs[r][i] = float64(r*100 + i)
+		}
+	}
+	if err := runCollective(n, func(rank int) error {
+		return g.Broadcast(rank, 1, vecs[rank])
+	}); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	for r := 0; r < n; r++ {
+		for i := range vecs[r] {
+			if vecs[r][i] != float64(100+i) {
+				t.Fatalf("rank %d elem %d: %v", r, i, vecs[r][i])
+			}
+		}
+	}
+}
+
+// TestHierarchicalCloseUnblocks: Close must release ranks blocked inside
+// any hierarchical stage, not just the global ring.
+func TestHierarchicalCloseUnblocks(t *testing.T) {
+	topo := mustClustered(t, placement(2, 2))
+	g, err := NewGroupWithTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Only rank 3 joins; it blocks in the intra-node ring until Close.
+		done <- g.AllReduce(3, []float64{1, 2, 3})
+	}()
+	g.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestNewClusteredValidation(t *testing.T) {
+	if _, err := NewClustered(nil); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+	dup := []topology.GPUID{{Node: 0, Index: 1}, {Node: 0, Index: 1}}
+	if _, err := NewClustered(dup); err == nil {
+		t.Fatal("duplicate placement accepted")
+	}
+}
+
+func TestLinkLabelOf(t *testing.T) {
+	if got := LinkLabelOf(Flat(4)); got != "L1" {
+		t.Fatalf("flat label %q, want L1", got)
+	}
+	cross := mustClustered(t, placement(2, 2))
+	if got := LinkLabelOf(cross); got != "L4" {
+		t.Fatalf("cross-node label %q, want L4", got)
+	}
+}
+
+// TestTopologySingleNodeIsFlat: a clustered placement on one node must run
+// the flat engine (and its exact reduction order).
+func TestTopologySingleNodeIsFlat(t *testing.T) {
+	topo := mustClustered(t, placement(4))
+	g, err := NewGroupWithTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Hierarchical() {
+		t.Fatal("single-node group marked hierarchical")
+	}
+	rng := rand.New(rand.NewSource(6))
+	vecs := randVecs(rng, 4, 13)
+	want, err := ReferenceAllReduce(Flat(4), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runTopo(t, topo, vecs)
+	for r := 0; r < 4; r++ {
+		expectBits(t, "single-node", r, got[r], want)
+	}
+}

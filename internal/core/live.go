@@ -11,12 +11,14 @@ import (
 	"github.com/elan-sys/elan/internal/collective"
 	"github.com/elan-sys/elan/internal/coord"
 	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/ddp"
 	"github.com/elan-sys/elan/internal/nn"
 	"github.com/elan-sys/elan/internal/replication"
 	"github.com/elan-sys/elan/internal/scaling"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/tensor"
+	"github.com/elan-sys/elan/internal/topology"
 )
 
 // LiveJob is real elastic data-parallel training: every worker holds its own
@@ -42,6 +44,13 @@ type LiveJob struct {
 	loader  *data.SerialLoader
 	am      *coord.AM
 	copier  *replication.Copier
+
+	// GPU placement: cluster is the optional simulated cluster; gpus is the
+	// current reservation backing group. bucketElems parametrizes each
+	// worker's gradient reducer.
+	cluster     *topology.Cluster
+	gpus        []*topology.GPU
+	bucketElems int
 
 	iter     int
 	tbs      int
@@ -73,9 +82,9 @@ type liveWorker struct {
 	net  *nn.MLP
 	opt  *nn.SGD
 	// Step workspace, reused across iterations (touched only by this
-	// worker's step goroutine): the flat gradient vector for the allreduce
-	// and the materialized batch.
-	flat   []float64
+	// worker's step goroutine): the bucketed gradient reducer (which owns
+	// the flat gradient vector) and the materialized batch.
+	red    *ddp.Reducer
 	batchX *tensor.Matrix
 	batchY []int
 }
@@ -107,8 +116,19 @@ type LiveConfig struct {
 	// them at zero cost. The collective group shares it.
 	Metrics *telemetry.Registry
 	// LinkLabel tags allreduce spans with a link level; empty defaults to
-	// "inproc" (the in-process goroutine substrate).
+	// "inproc" (the in-process goroutine substrate). Ignored when Cluster
+	// is set: the label then reflects the worst link level of the actual
+	// GPU placement.
 	LinkLabel string
+	// Cluster, when non-nil, places workers on simulated GPUs: every group
+	// (re)construction reserves one GPU per worker in deterministic tree
+	// order, and placements spanning nodes get the hierarchical allreduce.
+	Cluster *topology.Cluster
+	// BucketElems caps gradient-bucket sizes for each worker's ddp reducer,
+	// enabling comm/compute overlap during backward. 0 keeps one
+	// whole-vector bucket — arithmetic identical to the historical
+	// AllReduceMean path.
+	BucketElems int
 }
 
 // NewLiveJob builds the job, initializes identical replicas on all workers
@@ -143,10 +163,6 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	group, err := collective.NewGroup(cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
 	am, err := coord.NewAM("live-job", store.New())
 	if err != nil {
 		return nil, err
@@ -161,7 +177,6 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 		dataset:  cfg.Dataset,
 		layers:   append([]int(nil), cfg.LayerSizes...),
 		momentum: cfg.Momentum,
-		group:    group,
 		loader:   loader,
 		am:       am,
 		tbs:      cfg.TotalBatch,
@@ -172,13 +187,18 @@ func NewLiveJob(cfg LiveConfig) (*LiveJob, error) {
 		link:     cfg.LinkLabel,
 		metrics:  cfg.Metrics,
 
+		cluster:     cfg.Cluster,
+		bucketElems: cfg.BucketElems,
+
 		mSteps:         cfg.Metrics.Counter("core_steps_total"),
 		mStepSeconds:   cfg.Metrics.Histogram("core_step_seconds"),
 		mAdjustments:   cfg.Metrics.Counter("core_adjustments_total"),
 		mAdjustSeconds: cfg.Metrics.Histogram("core_adjust_seconds"),
 		mRollbacks:     cfg.Metrics.Counter("core_rollbacks_total"),
 	}
-	group.SetTelemetry(lj.tr, cfg.Metrics, cfg.Clock, cfg.LinkLabel)
+	if err := lj.rebuildGroupLocked(cfg.Workers); err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := lj.buildWorker(cfg.LR)
 		if err != nil {
@@ -206,7 +226,55 @@ func (lj *LiveJob) buildWorker(lr float64) (*liveWorker, error) {
 	}
 	name := fmt.Sprintf("w%d", lj.nextName)
 	lj.nextName++
-	return &liveWorker{name: name, net: net, opt: opt}, nil
+	red := ddp.New(net, ddp.Config{BucketElems: lj.bucketElems})
+	return &liveWorker{name: name, net: net, opt: opt, red: red}, nil
+}
+
+// closeWorkers shuts down the reducers of workers leaving the job — on
+// scale-in, on scale-out rollback, and at Close. Callers hold lj.mu, so no
+// step is in flight.
+func closeWorkers(ws []*liveWorker) {
+	for _, w := range ws {
+		w.red.Close()
+	}
+}
+
+// rebuildGroupLocked replaces the collective group with one sized for n
+// ranks — the single implementation of communication-group reconstruction
+// shared by construction and both scaling directions. With a Cluster
+// configured the old GPU reservation is released and n GPUs re-reserved in
+// deterministic tree order, so the group's topology (flat vs hierarchical)
+// and link label always match the actual placement. Callers hold lj.mu or
+// own lj exclusively (construction).
+func (lj *LiveJob) rebuildGroupLocked(n int) error {
+	link := lj.link
+	var topo collective.Topology = collective.Flat(n)
+	if lj.cluster != nil {
+		lj.cluster.Release(lj.gpus)
+		lj.gpus = nil
+		gpus, err := lj.cluster.Reserve(n)
+		if err != nil {
+			return err
+		}
+		ct, err := collective.NewClustered(topology.IDsOf(gpus))
+		if err != nil {
+			lj.cluster.Release(gpus)
+			return err
+		}
+		lj.gpus = gpus
+		topo = ct
+		link = collective.LinkLabelOf(ct)
+	}
+	if lj.group != nil {
+		lj.group.Close()
+	}
+	group, err := collective.NewGroupWithTopology(topo)
+	if err != nil {
+		return err
+	}
+	group.SetTelemetry(lj.tr, lj.metrics, lj.clk, link)
+	lj.group = group
+	return nil
 }
 
 // registerHooks installs the paper's hook API: one hook per state kind
@@ -344,16 +412,7 @@ func (lj *LiveJob) stepLocked() (_ float64, err error) {
 				return
 			}
 			losses[w] = loss
-			if err := worker.net.Backward(grad); err != nil {
-				errs[w] = err
-				return
-			}
-			worker.flat = worker.net.FlattenGrads(worker.flat[:0])
-			if err := lj.group.AllReduceMean(w, worker.flat); err != nil {
-				errs[w] = err
-				return
-			}
-			if err := worker.net.LoadGrads(worker.flat); err != nil {
+			if err := worker.red.BackwardAllReduce(lj.group, w, grad); err != nil {
 				errs[w] = err
 				return
 			}
@@ -510,6 +569,7 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) (err error) {
 		src := i % oldN // spread sources like the concurrent planner
 		if err := lj.copier.Execute(src, oldN+i); err != nil {
 			lj.workers = lj.workers[:oldN]
+			closeWorkers(fresh)
 			replSpan.End()
 			span.Event("rollback")
 			lj.mRollbacks.Inc()
@@ -522,17 +582,14 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) (err error) {
 	defer reconfSpan.End()
 	if err := lj.loader.Repartition(oldN, oldN+n); err != nil {
 		lj.workers = lj.workers[:oldN]
+		closeWorkers(fresh)
 		span.Event("rollback")
 		lj.mRollbacks.Inc()
 		return err
 	}
-	lj.group.Close()
-	group, err := collective.NewGroup(oldN + n)
-	if err != nil {
+	if err := lj.rebuildGroupLocked(oldN + n); err != nil {
 		return err
 	}
-	group.SetTelemetry(lj.tr, lj.metrics, lj.clk, lj.link)
-	lj.group = group
 	lj.lastAdjust = lj.clk.Since(start)
 	return nil
 }
@@ -583,19 +640,17 @@ func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) (err error) {
 	if _, ok, err := lj.am.Coordinate(); err != nil || !ok {
 		return fmt.Errorf("core: scale-in coordination failed (ok=%v err=%v)", ok, err)
 	}
+	leaving := lj.workers[newN:]
 	lj.workers = lj.workers[:newN]
+	closeWorkers(leaving)
 	reconfSpan := span.Child("core.reconfigure")
 	defer reconfSpan.End()
 	if err := lj.loader.Repartition(oldN, newN); err != nil {
 		return err
 	}
-	lj.group.Close()
-	group, err := collective.NewGroup(newN)
-	if err != nil {
+	if err := lj.rebuildGroupLocked(newN); err != nil {
 		return err
 	}
-	group.SetTelemetry(lj.tr, lj.metrics, lj.clk, lj.link)
-	lj.group = group
 	lj.lastAdjust = lj.clk.Since(start)
 	return nil
 }
@@ -664,9 +719,15 @@ func (lj *LiveJob) Diverged() bool {
 	return false
 }
 
-// Close releases the communication group.
+// Close releases the communication group, the workers' reducers and any
+// GPU reservation.
 func (lj *LiveJob) Close() {
 	lj.mu.Lock()
 	defer lj.mu.Unlock()
 	lj.group.Close()
+	closeWorkers(lj.workers)
+	if lj.cluster != nil {
+		lj.cluster.Release(lj.gpus)
+		lj.gpus = nil
+	}
 }

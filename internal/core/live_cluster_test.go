@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+// liveCluster builds a 2-node × 2-GPU simulated cluster (4 GPUs): a
+// 4-worker job spans both nodes (hierarchical group), 2 workers pack onto
+// one node (flat group).
+func liveCluster(t *testing.T) *topology.Cluster {
+	t.Helper()
+	geom := topology.DefaultGeometry()
+	geom.Nodes, geom.SocketsPerNode, geom.SwitchesPerSock, geom.GPUsPerSwitch = 2, 1, 1, 2
+	c, err := topology.NewCluster(geom)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+// linkLabels collects the distinct "link" attributes of the allreduce spans
+// recorded so far, then resets the recorder.
+func linkLabels(t *testing.T, rec *telemetry.Recorder) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, sp := range rec.Snapshot() {
+		if sp.Name != "collective.allreduce" {
+			continue
+		}
+		link, ok := sp.Attr("link")
+		if !ok {
+			t.Fatal("allreduce span missing link attr")
+		}
+		out[link] = true
+	}
+	rec.Reset()
+	return out
+}
+
+// TestLiveJobClusterElasticPlacement is the end-to-end elasticity story on
+// a simulated cluster: 4 workers span two nodes and reduce hierarchically
+// over L4; scaling in to 2 re-packs the placement onto one node and the
+// group degenerates to the flat single-node ring (L1); scaling back out
+// re-spans the nodes. The replica invariant holds across every transition
+// and Close returns the reservation.
+func TestLiveJobClusterElasticPlacement(t *testing.T) {
+	cl := liveCluster(t)
+	rec := telemetry.NewRecorder(clock.Wall{}, 8192)
+	lj, err := NewLiveJob(LiveConfig{
+		Dataset:     liveDataset(t, 2048),
+		LayerSizes:  []int{2, 24, 3},
+		Workers:     4,
+		TotalBatch:  32,
+		LR:          0.05,
+		Momentum:    0.9,
+		Seed:        7,
+		Tracer:      rec,
+		Cluster:     cl,
+		BucketElems: 60,
+	})
+	if err != nil {
+		t.Fatalf("NewLiveJob: %v", err)
+	}
+	t.Cleanup(lj.Close)
+	if free := cl.NumFree(); free != 0 {
+		t.Fatalf("%d GPUs free with 4 workers placed, want 0", free)
+	}
+	step := func(phase string) {
+		t.Helper()
+		for i := 0; i < 5; i++ {
+			if _, err := lj.Step(); err != nil {
+				t.Fatalf("%s step %d: %v", phase, i, err)
+			}
+		}
+		if !lj.ReplicasConsistent() {
+			t.Fatalf("replicas diverged (%s)", phase)
+		}
+	}
+	rec.Reset() // drop construction-time spans
+	step("4 workers, two nodes")
+	if links := linkLabels(t, rec); !links["L4"] || len(links) != 1 {
+		t.Fatalf("two-node links = %v, want {L4}", links)
+	}
+
+	if err := lj.ScaleIn(2); err != nil {
+		t.Fatalf("ScaleIn: %v", err)
+	}
+	if free := cl.NumFree(); free != 2 {
+		t.Fatalf("%d GPUs free after scale-in, want 2", free)
+	}
+	step("2 workers, one node")
+	if links := linkLabels(t, rec); !links["L1"] || len(links) != 1 {
+		t.Fatalf("one-node links = %v, want {L1}", links)
+	}
+
+	if err := lj.ScaleOut(2); err != nil {
+		t.Fatalf("ScaleOut: %v", err)
+	}
+	if free := cl.NumFree(); free != 0 {
+		t.Fatalf("%d GPUs free after scale-out, want 0", free)
+	}
+	step("back to 4 workers")
+	if links := linkLabels(t, rec); !links["L4"] || len(links) != 1 {
+		t.Fatalf("re-spanned links = %v, want {L4}", links)
+	}
+
+	lj.Close()
+	if free := cl.NumFree(); free != 4 {
+		t.Fatalf("%d GPUs free after Close, want 4", free)
+	}
+}
+
+// TestLiveJobBucketedMatchesWholeVector pins down the accuracy contract of
+// bucketing: splitting the gradient into buckets shifts each element's ring
+// rotation anchor, so the averaged gradients are the same real-number mean
+// under a different IEEE accumulation order — training must track the
+// whole-vector configuration to tight tolerance (the bitwise guarantee
+// belongs to BucketElems=0, pinned in the ddp package's differential
+// tests).
+func TestLiveJobBucketedMatchesWholeVector(t *testing.T) {
+	run := func(bucketElems int) []float64 {
+		lj, err := NewLiveJob(LiveConfig{
+			Dataset:     liveDataset(t, 2048),
+			LayerSizes:  []int{2, 24, 3},
+			Workers:     3,
+			TotalBatch:  24,
+			LR:          0.05,
+			Momentum:    0.9,
+			Seed:        7,
+			BucketElems: bucketElems,
+		})
+		if err != nil {
+			t.Fatalf("NewLiveJob: %v", err)
+		}
+		defer lj.Close()
+		for i := 0; i < 20; i++ {
+			if _, err := lj.Step(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		return lj.workers[0].net.FlattenParams(nil)
+	}
+	whole := run(0)
+	bucketed := run(60)
+	if len(whole) != len(bucketed) {
+		t.Fatalf("param count mismatch: %d vs %d", len(whole), len(bucketed))
+	}
+	for i := range whole {
+		diff := whole[i] - bucketed[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if s := whole[i]; s > scale || -s > scale {
+			scale = s
+			if scale < 0 {
+				scale = -scale
+			}
+		}
+		if diff > 1e-9*scale {
+			t.Fatalf("param %d drifted: whole-vector %v vs bucketed %v", i, whole[i], bucketed[i])
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package ddp is the distributed-data-parallel gradient reducer shared by
+// the fleet worker and the live-job worker: one implementation of the
+// backward-pass → gradient-average → load sequence both previously
+// hand-rolled around whole-vector AllReduceMean calls.
+//
+// The reducer splits the flattened gradient into fixed-capacity buckets
+// built by walking the layers in reverse (the order backward completes
+// them) and overlaps communication with compute: the moment the last layer
+// of a bucket finishes its backward, the bucket's flat range is handed to
+// a resident comm goroutine, which allreduces it while the remaining
+// layers are still computing — backward of layer N overlaps the allreduce
+// of layers above N. With BucketElems == 0 (the default) the plan is a
+// single whole-vector bucket, which makes the reducer's arithmetic — and
+// its accumulation order — exactly the historical AllReduceMean path.
+//
+// A Reducer belongs to one worker goroutine; only Close may be called from
+// elsewhere, and only after the owner has stopped stepping.
+package ddp
+
+import (
+	"fmt"
+
+	"github.com/elan-sys/elan/internal/collective"
+	"github.com/elan-sys/elan/internal/nn"
+	"github.com/elan-sys/elan/internal/tensor"
+)
+
+// Config parametrizes gradient bucketing.
+type Config struct {
+	// BucketElems caps the element count of each gradient bucket. Buckets
+	// are closed greedily in reverse-layer order once they reach the cap,
+	// so every bucket except possibly the last (lowest layers) holds at
+	// least BucketElems elements. 0 disables bucketing: one whole-vector
+	// bucket, no overlap, bit-identical to a whole-vector AllReduceMean.
+	BucketElems int
+}
+
+// bucket is one contiguous range of the flattened gradient, covering
+// layers [lowLayer, highLayer] — ready for reduction as soon as lowLayer's
+// backward completes (layers finish in descending order).
+type bucket struct {
+	lo, hi   int
+	lowLayer int
+}
+
+// reduceReq names the group and rank a step's buckets reduce over; the
+// elastic runtime swaps groups between steps, so they are per-request
+// rather than per-reducer state.
+type reduceReq struct {
+	g    *collective.Group
+	rank int
+}
+
+// Reducer owns a network's flattened gradient vector and the bucket plan
+// over it.
+type Reducer struct {
+	net     *nn.MLP
+	buckets []bucket
+	readyOf []int // readyOf[layer] = bucket to fire when layer completes, else -1
+	flat    []float64
+
+	onLayer func(int) error // cached hook: per-step closures would allocate
+	fired   int             // buckets signalled so far this step
+
+	started bool
+	closed  bool
+	req     chan reduceReq
+	res     chan error
+	ready   chan int
+	done    chan struct{}
+}
+
+// New builds a reducer for net. The bucket plan is fixed at construction
+// (layer shapes never change); the elastic runtime reuses one reducer
+// across group reconstructions by passing the current group to each step.
+func New(net *nn.MLP, cfg Config) *Reducer {
+	nl := net.NumLayers()
+	r := &Reducer{
+		net:     net,
+		readyOf: make([]int, nl),
+		flat:    make([]float64, net.NumParams()),
+	}
+	for i := range r.readyOf {
+		r.readyOf[i] = -1
+	}
+	if cfg.BucketElems <= 0 {
+		_, hi := net.GradRange(nl - 1)
+		r.buckets = []bucket{{lo: 0, hi: hi, lowLayer: 0}}
+		r.readyOf[0] = 0
+	} else {
+		acc, high := 0, nl-1
+		for i := nl - 1; i >= 0; i-- {
+			lo, hi := net.GradRange(i)
+			acc += hi - lo
+			if acc >= cfg.BucketElems || i == 0 {
+				blo, _ := net.GradRange(i)
+				_, bhi := net.GradRange(high)
+				r.buckets = append(r.buckets, bucket{lo: blo, hi: bhi, lowLayer: i})
+				r.readyOf[i] = len(r.buckets) - 1
+				acc, high = 0, i-1
+			}
+		}
+	}
+	r.req = make(chan reduceReq)
+	r.res = make(chan error, 1)
+	// Buffered to the plan size so the backward pass never blocks on a
+	// slow reduction: the hook deposits the bucket index and keeps
+	// computing.
+	r.ready = make(chan int, len(r.buckets))
+	r.done = make(chan struct{})
+	r.onLayer = func(layer int) error {
+		if err := r.net.FlattenLayerGrads(layer, r.flat); err != nil {
+			return err
+		}
+		if b := r.readyOf[layer]; b >= 0 {
+			r.ready <- b
+			r.fired++
+		}
+		return nil
+	}
+	return r
+}
+
+// NumBuckets returns the number of buckets in the reduction plan.
+func (r *Reducer) NumBuckets() int { return len(r.buckets) }
+
+// BackwardAllReduce runs the backward pass for lossGrad, averages the
+// gradients across g (bucket by bucket, overlapped with the remaining
+// backward compute), and loads the averaged gradients back into the
+// network. It must be called collectively: every rank of g steps with the
+// same bucket plan. Blocking is bounded by g.Close, which aborts in-flight
+// reductions with collective.ErrClosed.
+func (r *Reducer) BackwardAllReduce(g *collective.Group, rank int, lossGrad *tensor.Matrix) error {
+	if r.closed {
+		return fmt.Errorf("ddp: reducer closed")
+	}
+	if !r.started {
+		r.started = true
+		go r.commLoop()
+	}
+	return r.step(g, rank, lossGrad)
+}
+
+// step submits the request to the comm goroutine, runs backward with the
+// bucket hook, and joins the reduction.
+func (r *Reducer) step(g *collective.Group, rank int, lossGrad *tensor.Matrix) error {
+	r.fired = 0
+	r.req <- reduceReq{g: g, rank: rank}
+	bErr := r.net.BackwardLayers(lossGrad, r.onLayer)
+	// The comm loop consumes exactly len(buckets) signals per request;
+	// if backward bailed early, feed it the rest so this rank still joins
+	// every collective its peers are counting on.
+	for b := r.fired; b < len(r.buckets); b++ {
+		r.ready <- b
+	}
+	cErr := <-r.res
+	if bErr != nil {
+		return bErr
+	}
+	if cErr != nil {
+		return cErr
+	}
+	return r.net.LoadGrads(r.flat)
+}
+
+// Close shuts down the comm goroutine and makes the reducer permanently
+// unusable. Call only after the owning worker has stopped stepping; safe
+// to call repeatedly and on a reducer that never stepped.
+func (r *Reducer) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if !r.started {
+		return
+	}
+	close(r.req)
+	<-r.done
+}
+
+// commLoop is the resident reduction goroutine: one request per step, one
+// allreduce per bucket, in plan order.
+func (r *Reducer) commLoop() {
+	defer close(r.done)
+	for req := range r.req {
+		r.res <- r.runBuckets(req)
+	}
+}
+
+// runBuckets drains this step's bucket signals in plan order, reducing and
+// averaging each range. On error it keeps draining (the signal count per
+// step is fixed) and reports the first failure.
+func (r *Reducer) runBuckets(req reduceReq) error {
+	var firstErr error
+	inv := 1 / float64(req.g.Size())
+	for want := 0; want < len(r.buckets); want++ {
+		b := <-r.ready
+		if firstErr != nil {
+			continue
+		}
+		if b != want {
+			firstErr = fmt.Errorf("ddp: bucket %d signalled, want %d", b, want)
+			continue
+		}
+		bk := r.buckets[b]
+		seg := r.flat[bk.lo:bk.hi]
+		if err := req.g.AllReduceBucket(req.rank, seg, b); err != nil {
+			firstErr = err
+			continue
+		}
+		for i := range seg {
+			seg[i] *= inv
+		}
+	}
+	return firstErr
+}

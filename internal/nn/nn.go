@@ -132,6 +132,7 @@ type MLP struct {
 	probs  map[int]*tensor.Matrix   // per-batch-shape softmax buffer
 	params []*tensor.Matrix         // cached Params() result
 	grads  []*tensor.Matrix         // cached Grads() result
+	offs   []int                    // cached per-layer flat-gradient offsets
 }
 
 // NewMLP builds an MLP with the given layer sizes, e.g. {2, 64, 64, 3} for a
@@ -185,6 +186,16 @@ func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 // Backward propagates the loss gradient through the network, accumulating
 // parameter gradients.
 func (m *MLP) Backward(grad *tensor.Matrix) error {
+	return m.BackwardLayers(grad, nil)
+}
+
+// BackwardLayers is Backward with a per-layer completion hook: onLayer(i)
+// runs as soon as layer i's parameter gradients are final, while layers
+// i-1..0 still have backward compute ahead of them. Gradient bucketing
+// hangs off this hook — the allreduce of already-finished layers overlaps
+// the rest of the backward pass. Layers complete in descending index
+// order. A nil onLayer makes it exactly Backward.
+func (m *MLP) BackwardLayers(grad *tensor.Matrix, onLayer func(layer int) error) error {
 	g := grad
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		var err error
@@ -192,12 +203,60 @@ func (m *MLP) Backward(grad *tensor.Matrix) error {
 		if err != nil {
 			return fmt.Errorf("nn: layer %d backward: %w", i, err)
 		}
+		if onLayer != nil {
+			if err := onLayer(i); err != nil {
+				return err
+			}
+		}
 		if i > 0 {
 			if err := g.Hadamard(m.masks[i-1]); err != nil {
 				return err
 			}
 		}
 	}
+	return nil
+}
+
+// NumLayers returns the number of linear layers.
+func (m *MLP) NumLayers() int { return len(m.layers) }
+
+// layerOffsets returns (building once) the prefix offsets of each layer's
+// gradients in the FlattenGrads order: layer i occupies [offs[i], offs[i+1]).
+func (m *MLP) layerOffsets() []int {
+	if m.offs == nil {
+		m.offs = make([]int, len(m.layers)+1)
+		off := 0
+		for i, l := range m.layers {
+			m.offs[i] = off
+			off += l.GradW.Rows*l.GradW.Cols + l.GradB.Cols
+		}
+		m.offs[len(m.layers)] = off
+	}
+	return m.offs
+}
+
+// GradRange returns the [lo, hi) range layer's gradients occupy in the
+// flattened gradient vector (FlattenGrads / LoadGrads order).
+func (m *MLP) GradRange(layer int) (int, int) {
+	offs := m.layerOffsets()
+	return offs[layer], offs[layer+1]
+}
+
+// FlattenLayerGrads copies one layer's gradients into its GradRange slice
+// of flat, which must cover the full flattened gradient vector. Unlike
+// FlattenGrads it touches only that layer's range, so a bucketing reducer
+// can flatten each layer the moment its backward completes.
+func (m *MLP) FlattenLayerGrads(layer int, flat []float64) error {
+	if layer < 0 || layer >= len(m.layers) {
+		return fmt.Errorf("nn: layer %d out of [0, %d)", layer, len(m.layers))
+	}
+	lo, hi := m.GradRange(layer)
+	if len(flat) < hi {
+		return fmt.Errorf("nn: flat gradient vector of %d values, need %d", len(flat), hi)
+	}
+	l := m.layers[layer]
+	n := copy(flat[lo:hi], l.GradW.Data)
+	copy(flat[lo+n:hi], l.GradB.Data)
 	return nil
 }
 

@@ -1,0 +1,147 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
+	"github.com/elan-sys/elan/internal/topology"
+)
+
+// smallCluster builds a 2-node × 2-GPU simulated cluster (4 GPUs): a
+// 4-worker fleet spans both nodes (hierarchical group, L4 label) while 3 or
+// fewer workers pack onto fewer links.
+func smallCluster(t *testing.T) *topology.Cluster {
+	t.Helper()
+	geom := topology.DefaultGeometry()
+	geom.Nodes, geom.SocketsPerNode, geom.SwitchesPerSock, geom.GPUsPerSwitch = 2, 1, 1, 2
+	c, err := topology.NewCluster(geom)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+// TestFleetOnClusterHierarchical trains a fleet whose collective group is
+// placed on a simulated two-node cluster with gradient bucketing enabled:
+// the allreduce spans must carry the placement-derived L4 link label and
+// bucket indices, training must keep the replica invariant, and Close must
+// return the GPU reservation.
+func TestFleetOnClusterHierarchical(t *testing.T) {
+	guardGoroutines(t)
+	cl := smallCluster(t)
+	rec := telemetry.NewRecorder(clock.Wall{}, 4096)
+	f, err := NewFleet(FleetConfig{
+		Dataset:     dataset(t, 1024),
+		LayerSizes:  []int{4, 16, 3},
+		Workers:     4,
+		TotalBatch:  64,
+		LR:          0.05,
+		Momentum:    0.9,
+		Seed:        21,
+		Tracer:      rec,
+		Cluster:     cl,
+		BucketElems: 40,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(f.Close)
+	if free := cl.NumFree(); free != 0 {
+		t.Fatalf("%d GPUs free with 4 workers placed, want 0", free)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas diverged on hierarchical group")
+	}
+	var reduces, bucketed int
+	for _, sp := range rec.Snapshot() {
+		if sp.Name != "collective.allreduce" {
+			continue
+		}
+		reduces++
+		link, ok := sp.Attr("link")
+		if !ok || link != "L4" {
+			t.Fatalf("allreduce span link = %q (ok=%v), want L4", link, ok)
+		}
+		if _, ok := sp.Attr("nodes"); !ok {
+			t.Fatal("hierarchical allreduce span missing nodes attr")
+		}
+		if _, ok := sp.Attr("bucket"); ok {
+			bucketed++
+		}
+	}
+	if reduces == 0 {
+		t.Fatal("no allreduce spans recorded")
+	}
+	if bucketed != reduces {
+		t.Fatalf("%d of %d allreduce spans tagged with bucket index", bucketed, reduces)
+	}
+	f.Close()
+	if free := cl.NumFree(); free != 4 {
+		t.Fatalf("%d GPUs free after Close, want 4", free)
+	}
+}
+
+// TestFleetClusterCrashRejoin drives the failure-mitigation loop on a
+// cluster-placed fleet: crashing a worker shrinks the reservation at the
+// next sweep, rejoining regrows it, and the group stays usable throughout —
+// the hierarchical-group-reconstruction path of crash recovery.
+func TestFleetClusterCrashRejoin(t *testing.T) {
+	guardGoroutines(t)
+	cl := smallCluster(t)
+	f, err := NewFleet(FleetConfig{
+		Dataset:     dataset(t, 1024),
+		LayerSizes:  []int{4, 16, 3},
+		Workers:     4,
+		TotalBatch:  48,
+		LR:          0.05,
+		Momentum:    0.9,
+		Seed:        21,
+		Cluster:     cl,
+		BucketElems: 25,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(f.Close)
+	if _, err := f.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if err := f.CrashWorker("agent-2"); err != nil {
+		t.Fatalf("CrashWorker: %v", err)
+	}
+	// The next step sweeps the dead rank out and rebuilds the group — and
+	// with it the GPU reservation — for the 3 survivors.
+	if _, err := f.Step(); err != nil {
+		t.Fatalf("Step after crash: %v", err)
+	}
+	if free := cl.NumFree(); free != 1 {
+		t.Fatalf("%d GPUs free after sweep, want 1", free)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := f.RejoinWorker("agent-2"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("RejoinWorker never succeeded")
+		}
+	}
+	if free := cl.NumFree(); free != 0 {
+		t.Fatalf("%d GPUs free after rejoin, want 0", free)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Step(); err != nil {
+			t.Fatalf("Step after rejoin: %v", err)
+		}
+	}
+	if !f.ReplicasConsistent() {
+		t.Fatal("replicas diverged across crash/rejoin on cluster")
+	}
+}

@@ -23,7 +23,7 @@ func TestAgentStepZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := newAgent("bench-0", 1, []int{8, 32, 32, 3}, 0.05, 0.9, ds)
+	a, err := newAgent("bench-0", 1, []int{8, 32, 32, 3}, 0.05, 0.9, 0, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestAgentStepRejectsEmptyShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := newAgent("bench-1", 1, []int{4, 8, 2}, 0.05, 0.9, ds)
+	a, err := newAgent("bench-1", 1, []int{4, 8, 2}, 0.05, 0.9, 0, ds)
 	if err != nil {
 		t.Fatal(err)
 	}

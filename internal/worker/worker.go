@@ -25,10 +25,12 @@ import (
 	"github.com/elan-sys/elan/internal/collective"
 	"github.com/elan-sys/elan/internal/coord"
 	"github.com/elan-sys/elan/internal/data"
+	"github.com/elan-sys/elan/internal/ddp"
 	"github.com/elan-sys/elan/internal/nn"
 	"github.com/elan-sys/elan/internal/store"
 	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/tensor"
+	"github.com/elan-sys/elan/internal/topology"
 	"github.com/elan-sys/elan/internal/transport"
 )
 
@@ -86,10 +88,10 @@ type Agent struct {
 	killOnce sync.Once
 
 	// Step workspace, reused across iterations so the steady-state step
-	// performs no heap allocations: the flat gradient vector for the
-	// allreduce and the materialized batch. All are touched only by the
-	// agent goroutine (and, for flat's warm-up sizing, the first step).
-	flat   []float64
+	// performs no heap allocations: the bucketed gradient reducer (which
+	// owns the flat gradient vector) and the materialized batch. All are
+	// touched only by the agent goroutine.
+	red    *ddp.Reducer
 	batchX *tensor.Matrix
 	batchY []int
 }
@@ -97,7 +99,7 @@ type Agent struct {
 // newAgent builds an agent with a deterministic replica and starts its
 // loop. All agents share the construction seed, so initial replicas are
 // identical; joining agents are overwritten by replication anyway.
-func newAgent(name string, seed int64, sizes []int, lr, momentum float64, ds *data.Dataset) (*Agent, error) {
+func newAgent(name string, seed int64, sizes []int, lr, momentum float64, bucketElems int, ds *data.Dataset) (*Agent, error) {
 	net, err := nn.NewMLP(rand.New(rand.NewSource(seed)), sizes)
 	if err != nil {
 		return nil, err
@@ -110,6 +112,7 @@ func newAgent(name string, seed int64, sizes []int, lr, momentum float64, ds *da
 		Name:   name,
 		net:    net,
 		opt:    opt,
+		red:    ddp.New(net, ddp.Config{BucketElems: bucketElems}),
 		box:    make(chan command),
 		done:   make(chan struct{}),
 		killed: make(chan struct{}),
@@ -121,6 +124,9 @@ func newAgent(name string, seed int64, sizes []int, lr, momentum float64, ds *da
 // loop is the agent's resident goroutine.
 func (a *Agent) loop(ds *data.Dataset) {
 	defer close(a.done)
+	// The reducer's comm goroutine dies with the agent — on stop and on
+	// simulated crash alike — so group reconstruction never inherits one.
+	defer a.red.Close()
 	for {
 		select {
 		case <-a.killed:
@@ -143,10 +149,11 @@ func (a *Agent) loop(ds *data.Dataset) {
 	}
 }
 
-// step runs one data-parallel iteration: local forward/backward on the
-// shard, ring allreduce of the gradients, optimizer update. Everything it
-// touches after warm-up is agent-owned and reused — the batch buffers, the
-// network workspaces, and the flat gradient vector — so a steady-state
+// step runs one data-parallel iteration: local forward on the shard, then
+// the shared ddp reducer runs backward with bucketed, overlap-scheduled
+// gradient averaging, then the optimizer update. Everything it touches
+// after warm-up is agent-owned and reused — the batch buffers, the network
+// workspaces, and the reducer's flat gradient vector — so a steady-state
 // step allocates nothing.
 func (a *Agent) step(ds *data.Dataset, cmd command) result {
 	n := cmd.hi - cmd.lo
@@ -169,14 +176,7 @@ func (a *Agent) step(ds *data.Dataset, cmd command) result {
 	if err != nil {
 		return result{err: err}
 	}
-	if err := a.net.Backward(grad); err != nil {
-		return result{err: err}
-	}
-	a.flat = a.net.FlattenGrads(a.flat[:0])
-	if err := cmd.group.AllReduceMean(cmd.rank, a.flat); err != nil {
-		return result{err: err}
-	}
-	if err := a.net.LoadGrads(a.flat); err != nil {
+	if err := a.red.BackwardAllReduce(cmd.group, cmd.rank, grad); err != nil {
 		return result{err: err}
 	}
 	a.opt.LR = cmd.lr
@@ -268,8 +268,18 @@ type FleetConfig struct {
 	Metrics *telemetry.Registry
 	// LinkLabel tags the collective group's allreduce spans with a link
 	// level (topology naming); empty defaults to "inproc", the in-process
-	// goroutine substrate.
+	// goroutine substrate. Ignored when Cluster is set: the label then
+	// comes from the worst link level of the actual GPU placement.
 	LinkLabel string
+	// Cluster, when non-nil, places workers on simulated GPUs: every group
+	// (re)construction reserves one GPU per worker in deterministic tree
+	// order and builds a topology-aware group, so placements spanning nodes
+	// get the hierarchical allreduce. Nil keeps the flat single-node group.
+	Cluster *topology.Cluster
+	// BucketElems caps gradient-bucket sizes for the ddp reducer, enabling
+	// comm/compute overlap during backward. 0 keeps one whole-vector
+	// bucket — arithmetic identical to the historical AllReduceMean path.
+	BucketElems int
 }
 
 // Fleet is the controller plus its resident agents.
@@ -280,6 +290,9 @@ type Fleet struct {
 	clk    clock.Clock
 	agents []*Agent
 	group  *collective.Group
+	// gpus is the current Cluster reservation backing group (nil when no
+	// cluster is configured); rebuildGroupLocked swaps it with the group.
+	gpus   []*topology.GPU
 	loader *data.SerialLoader
 	store  *store.Store
 	am     *coord.AM
@@ -394,11 +407,6 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cancel()
 		return nil, err
 	}
-	group, err := collective.NewGroup(cfg.Workers)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
 	hb, err := coord.NewHeartbeatMonitor(cfg.Clock)
 	if err != nil {
 		cancel()
@@ -408,7 +416,6 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	f := &Fleet{
 		cfg:            cfg,
 		clk:            cfg.Clock,
-		group:          group,
 		loader:         loader,
 		store:          cfg.Store,
 		am:             am,
@@ -433,7 +440,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		mAMRecoveries:  cfg.Metrics.Counter("worker_am_recoveries_total"),
 		mCoordSkips:    cfg.Metrics.Counter("worker_coord_skips_total"),
 	}
-	f.group.SetTelemetry(f.tr, cfg.Metrics, cfg.Clock, cfg.LinkLabel)
+	if err := f.rebuildGroupLocked(cfg.Workers); err != nil {
+		f.Close()
+		return nil, err
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		a, err := f.spawnAgent()
 		if err != nil {
@@ -519,7 +529,7 @@ func (f *Fleet) DeadWorkers() []string {
 func (f *Fleet) spawnAgent() (*Agent, error) {
 	name := fmt.Sprintf("agent-%d", f.nextID)
 	f.nextID++
-	return newAgent(name, f.cfg.Seed, f.cfg.LayerSizes, f.lr, f.cfg.Momentum, f.cfg.Dataset)
+	return newAgent(name, f.cfg.Seed, f.cfg.LayerSizes, f.lr, f.cfg.Momentum, f.cfg.BucketElems, f.cfg.Dataset)
 }
 
 // NumWorkers returns the active agent count.
@@ -714,6 +724,45 @@ func (f *Fleet) Step() (float64, error) {
 // applyAdjustment performs steps 4 and 5 of the procedure for a delivered
 // adjustment: admit reported agents with replicated state, or retire
 // leaving agents, then rebuild the group and repartition.
+// rebuildGroupLocked replaces the collective group with one sized for n
+// ranks — the single implementation of communication-group reconstruction
+// shared by construction, scale adjustments, dead-worker sweeps and
+// rejoins. With a Cluster configured the old GPU reservation is released
+// and n GPUs re-reserved in deterministic tree order, so the group's
+// topology (and therefore its flat-vs-hierarchical algorithm and its link
+// label) always matches the actual placement. Callers hold f.mu or own f
+// exclusively (construction).
+func (f *Fleet) rebuildGroupLocked(n int) error {
+	link := f.cfg.LinkLabel
+	var topo collective.Topology = collective.Flat(n)
+	if f.cfg.Cluster != nil {
+		f.cfg.Cluster.Release(f.gpus)
+		f.gpus = nil
+		gpus, err := f.cfg.Cluster.Reserve(n)
+		if err != nil {
+			return err
+		}
+		ct, err := collective.NewClustered(topology.IDsOf(gpus))
+		if err != nil {
+			f.cfg.Cluster.Release(gpus)
+			return err
+		}
+		f.gpus = gpus
+		topo = ct
+		link = collective.LinkLabelOf(ct)
+	}
+	if f.group != nil {
+		f.group.Close()
+	}
+	group, err := collective.NewGroupWithTopology(topo)
+	if err != nil {
+		return err
+	}
+	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, link)
+	f.group = group
+	return nil
+}
+
 func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
 	oldN := len(f.agents)
 	switch adj.Kind {
@@ -757,14 +806,7 @@ func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
 	if err := f.loader.Repartition(oldN, len(f.agents)); err != nil {
 		return err
 	}
-	f.group.Close()
-	group, err := collective.NewGroup(len(f.agents))
-	if err != nil {
-		return err
-	}
-	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
-	f.group = group
-	return nil
+	return f.rebuildGroupLocked(len(f.agents))
 }
 
 // sweepDeadLocked excises crashed agents before dispatch: a killed rank
@@ -793,13 +835,9 @@ func (f *Fleet) sweepDeadLocked() error {
 	if err := f.loader.Repartition(oldN, len(live)); err != nil {
 		return err
 	}
-	f.group.Close()
-	group, err := collective.NewGroup(len(live))
-	if err != nil {
+	if err := f.rebuildGroupLocked(len(live)); err != nil {
 		return err
 	}
-	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
-	f.group = group
 	f.lifeSpan.Event("dead-worker-swept")
 	return nil
 }
@@ -849,7 +887,7 @@ func (f *Fleet) RejoinWorker(name string) error {
 		return fmt.Errorf("worker: total batch %d not divisible by %d workers",
 			f.cfg.TotalBatch, len(f.agents)+1)
 	}
-	a, err := newAgent(name, f.cfg.Seed, f.cfg.LayerSizes, f.lr, f.cfg.Momentum, f.cfg.Dataset)
+	a, err := newAgent(name, f.cfg.Seed, f.cfg.LayerSizes, f.lr, f.cfg.Momentum, f.cfg.BucketElems, f.cfg.Dataset)
 	if err != nil {
 		return err
 	}
@@ -873,13 +911,9 @@ func (f *Fleet) RejoinWorker(name string) error {
 	if err := f.loader.Repartition(oldN, len(f.agents)); err != nil {
 		return err
 	}
-	f.group.Close()
-	group, err := collective.NewGroup(len(f.agents))
-	if err != nil {
+	if err := f.rebuildGroupLocked(len(f.agents)); err != nil {
 		return err
 	}
-	group.SetTelemetry(f.tr, f.cfg.Metrics, f.clk, f.cfg.LinkLabel)
-	f.group = group
 	f.deadMu.Lock()
 	delete(f.dead, name)
 	f.deadMu.Unlock()
@@ -1051,6 +1085,10 @@ func (f *Fleet) Close() {
 	f.spawned = nil
 	if f.group != nil {
 		f.group.Close()
+	}
+	if f.cfg.Cluster != nil {
+		f.cfg.Cluster.Release(f.gpus)
+		f.gpus = nil
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
