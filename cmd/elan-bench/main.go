@@ -9,6 +9,7 @@
 //	elan-bench -adjust-trace adjust.json   # trace one scaling adjustment
 //	elan-bench -json hotpath.json          # hot-path micro-benchmark report
 //	elan-bench -collective coll.json       # flat vs hierarchical allreduce report
+//	elan-bench -telemetry telem.json       # span + flight-recorder overhead report
 package main
 
 import (
@@ -32,7 +33,16 @@ func main() {
 		"run the hot-path micro-benchmarks (matmul, train step, allreduce) and write ns/op, allocs/op and B/op to this JSON file")
 	collOut := flag.String("collective", "",
 		"measure flat vs hierarchical allreduce in-process and simulate both under the analytic comm model; write the report to this JSON file")
+	telemOut := flag.String("telemetry", "",
+		"measure the tracing overhead (disabled/enabled spans, flight ring) and write the report to this JSON file")
 	flag.Parse()
+	if *telemOut != "" {
+		if err := writeTelemetryJSON(*telemOut, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *collOut != "" {
 		if err := writeCollectiveJSON(*collOut, *quick, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "elan-bench:", err)

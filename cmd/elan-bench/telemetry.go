@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
+)
+
+// tracedStep runs the instrumented shape of one worker rank step — the
+// rank-step span with its annotations and the forward/allreduce/optimize
+// children — against the given tracer. With the Nop tracer every span is
+// nil and the whole function is allocation-free; with a Recorder it is the
+// span cost the -telemetry report measures.
+func tracedStep(tr telemetry.Tracer, iter int) {
+	s := tr.StartSpan("worker.rank_step")
+	s.SetProc("agent-0")
+	s.AnnotateInt("rank", 0)
+	s.AnnotateInt("iter", iter)
+	f := s.Child("worker.forward")
+	f.End()
+	c := s.Child("collective.allreduce")
+	c.End()
+	o := s.Child("worker.optimize")
+	o.End()
+	s.End()
+}
+
+// telemetryBenches measures the observability tax: the instrumented step
+// shape with tracing disabled (the production default), enabled, and
+// enabled with the flight ring attached, plus the raw flight-recorder
+// record path. The disabled step and the flight record path must both
+// measure allocation-free — the strict ==0 versions of those guards are
+// the AllocsPerRun tests in internal/telemetry.
+func telemetryBenches(quick bool) ([]hotBenchResult, error) {
+	clk := clock.Wall{}
+	scale := 1
+	if quick {
+		scale = 50
+	}
+	var results []hotBenchResult
+	add := func(name string, iters int, fn func() error) error {
+		if iters < 2 {
+			iters = 2
+		}
+		r, err := measureHot(clk, name, iters, fn)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		return nil
+	}
+
+	iter := 0
+	nop := telemetry.Nop{}
+	if err := add("span_disabled_step", 200000/scale, func() error {
+		tracedStep(nop, iter)
+		iter++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Enabled paths record 4 spans per step (1 + warm-up); the recorder cap
+	// is sized so no span is dropped and the append path is what's measured.
+	// The figure includes the GC time the retained trace induces — that is
+	// the honest cost of running with an exportable trace on.
+	const stepIters = 20000
+	rec := telemetry.NewRecorder(clk, 4*(stepIters+2))
+	iter = 0
+	if err := add("span_enabled_step", stepIters/scale, func() error {
+		tracedStep(rec, iter)
+		iter++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	rec = telemetry.NewRecorder(clk, 4*(stepIters+2))
+	rec.SetFlightRecorder(telemetry.NewFlightRecorder(0))
+	iter = 0
+	if err := add("span_enabled_flight", stepIters/scale, func() error {
+		tracedStep(rec, iter)
+		iter++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// The bare ring: one prebuilt finished span (two attrs, one event)
+	// copied into the flight recorder per op. This is the overhead the
+	// always-on black box adds to every span End.
+	flight := telemetry.NewFlightRecorder(0)
+	epoch := time.Unix(0, 0)
+	srec := telemetry.SpanRecord{
+		ID: 7, Parent: 3, Trace: 1, Proc: "agent-0", Name: "worker.rank_step",
+		Start: epoch, End: epoch.Add(time.Millisecond),
+		Attrs:  []telemetry.Attr{{Key: "rank", Value: "0"}, {Key: "iter", Value: "12"}},
+		Events: []telemetry.EventRecord{{Name: "retry", At: epoch}},
+	}
+	if err := add("flight_record", 1000000/scale, func() error {
+		flight.Record(srec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// writeTelemetryJSON runs the telemetry overhead benchmarks and writes the
+// report.
+func writeTelemetryJSON(path string, quick bool, w io.Writer) error {
+	results, err := telemetryBenches(quick)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%-32s %12.0f ns/op %8.1f allocs/op %12.1f B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	fmt.Fprintf(w, "wrote %d benchmarks to %s\n", len(results), path)
+	return nil
+}

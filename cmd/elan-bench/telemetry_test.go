@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteTelemetryJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.json")
+	var b strings.Builder
+	if err := writeTelemetryJSON(path, true, &b); err != nil {
+		t.Fatalf("writeTelemetryJSON: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []hotBenchResult
+	if err := json.Unmarshal(buf, &results); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	byName := map[string]hotBenchResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+		if r.Iters <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	for _, name := range []string{
+		"span_disabled_step", "span_enabled_step", "span_enabled_flight", "flight_record",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("report missing %q", name)
+		}
+	}
+	// The production-default disabled path and the flight ring's record path
+	// are the zero-allocation contracts; <1 tolerates stray runtime mallocs
+	// at quick mode's small iteration counts (the strict ==0 guards are the
+	// AllocsPerRun tests in internal/telemetry).
+	for _, name := range []string{"span_disabled_step", "flight_record"} {
+		if r := byName[name]; r.AllocsPerOp >= 1 {
+			t.Errorf("%s allocates: %.2f allocs/op", name, r.AllocsPerOp)
+		}
+	}
+	if !strings.Contains(b.String(), "wrote") {
+		t.Errorf("summary line missing:\n%s", b.String())
+	}
+}

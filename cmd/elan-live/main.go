@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	elan "github.com/elan-sys/elan"
 	"github.com/elan-sys/elan/internal/chaos"
@@ -89,7 +90,9 @@ type options struct {
 	seed      int64
 	schedule  string
 	traceOut  string // Chrome trace-event JSON output path ("" = off)
+	spansOut  string // raw span-record JSON output path ("" = off)
 	debugAddr string // /metrics + /healthz listen address ("" = off)
+	flightrec int    // flight-recorder ring capacity (0 = off)
 
 	chaos       bool  // run the chaos harness instead of a training schedule
 	chaosSeed   int64 // fault-schedule seed (not the model seed)
@@ -106,8 +109,12 @@ func main() {
 	flag.StringVar(&opts.schedule, "schedule", "", "adjustments, e.g. 200:out2,400:batch128")
 	flag.StringVar(&opts.traceOut, "trace-out", "",
 		"write a Chrome trace-event JSON file (load in Perfetto) covering the run")
+	flag.StringVar(&opts.spansOut, "spans-out", "",
+		"write raw span records as JSON (feed to elan-trace -attrib) and print the per-step time attribution")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "",
 		"serve /metrics (Prometheus text) and /healthz on this address, e.g. localhost:9090")
+	flag.IntVar(&opts.flightrec, "flightrec", 0,
+		"attach an always-on flight recorder with a ring of this many records; chaos faults and crash paths dump it (0 = off)")
 	flag.BoolVar(&opts.chaos, "chaos", false,
 		"replay a seeded fault schedule against a worker fleet instead of training")
 	flag.Int64Var(&opts.chaosSeed, "chaos-seed", 1, "fault schedule seed (chaos mode)")
@@ -133,7 +140,18 @@ func main() {
 // runtime outcomes and may vary.
 func runChaos(ctx context.Context, w io.Writer, opts options) error {
 	sched := chaos.RandomSchedule(opts.chaosSeed, opts.chaosFaults, 4)
-	h, err := chaos.New(chaos.Config{Schedule: sched, Seed: opts.seed})
+	cfg := chaos.Config{Schedule: sched, Seed: opts.seed}
+	// With -flightrec the harness gets a flight ring plus a tracer feeding
+	// it, so every fault freezes a dump of the spans just before impact.
+	// The harness drives its own sim clock; the recorder only needs a time
+	// source for construction, so a fresh sim at the same epoch does.
+	var flight *elan.FlightRecorder
+	if opts.flightrec > 0 {
+		flight = elan.NewFlightRecorder(opts.flightrec)
+		cfg.Flight = flight
+		cfg.Tracer = elan.NewTraceRecorder(elan.NewSimClock(time.Unix(0, 0)), 0)
+	}
+	h, err := chaos.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -167,6 +185,18 @@ func runChaos(ctx context.Context, w io.Writer, opts options) error {
 	if !rep.Consistent {
 		return fmt.Errorf("replicas inconsistent after chaos run")
 	}
+	// The flight dump is a postmortem artifact, not a determinism artifact:
+	// its span interleaving varies with goroutine scheduling, so it prints
+	// after (and never among) the byte-compared "fault " lines.
+	if flight != nil {
+		if reason, dump := flight.LastDump(); reason != "" {
+			if err := elan.WriteFlightDump(w, reason, dump); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "flight: %d records through a %d-slot ring\n",
+			flight.Total(), flight.Capacity())
+	}
 	return nil
 }
 
@@ -175,17 +205,22 @@ func run(ctx context.Context, w io.Writer, opts options) error {
 	if err != nil {
 		return err
 	}
-	// Telemetry is optional: when neither flag asks for it the tracer stays
+	// Telemetry is optional: when no flag asks for it the tracer stays
 	// Nop and the instruments stay nil, so the training path is unchanged.
 	var (
 		rec    *elan.TraceRecorder
 		reg    *elan.MetricsRegistry
 		tracer elan.Tracer
+		flight *elan.FlightRecorder
 	)
-	if opts.traceOut != "" || opts.debugAddr != "" {
+	if opts.traceOut != "" || opts.spansOut != "" || opts.debugAddr != "" || opts.flightrec > 0 {
 		rec = elan.NewTraceRecorder(nil, 0)
 		reg = elan.NewMetricsRegistry()
 		tracer = rec
+	}
+	if opts.flightrec > 0 {
+		flight = elan.NewFlightRecorder(opts.flightrec)
+		rec.SetFlightRecorder(flight)
 	}
 	if opts.debugAddr != "" {
 		srv, err := elan.NewTelemetryServer(opts.debugAddr, reg)
@@ -296,6 +331,33 @@ func run(ctx context.Context, w io.Writer, opts options) error {
 		}
 		fmt.Fprintf(w, "trace: wrote %d spans (%d dropped) to %s — open in ui.perfetto.dev\n",
 			rec.Len(), rec.Dropped(), opts.traceOut)
+	}
+	if opts.spansOut != "" {
+		spans := rec.Snapshot()
+		f, err := os.Create(opts.spansOut)
+		if err != nil {
+			return err
+		}
+		if err := elan.WriteSpans(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "spans: wrote %d records to %s — inspect with elan-trace -attrib\n",
+			len(spans), opts.spansOut)
+		// The attribution the file supports, printed right away: where the
+		// run's step time went and which ranks straggled.
+		a := elan.Attribute(spans)
+		a.Publish(reg)
+		if err := elan.WriteAttribution(w, a); err != nil {
+			return err
+		}
+	}
+	if flight != nil {
+		fmt.Fprintf(w, "flight: %d records through a %d-slot ring\n",
+			flight.Total(), flight.Capacity())
 	}
 	return nil
 }

@@ -5,6 +5,12 @@
 //
 //	elan-trace -hours 168 -seed 1           # weekly stats + utilization plot
 //	elan-trace -hours 48 -dump | head -20   # job listing
+//	elan-trace -attrib spans.json           # per-step time attribution
+//
+// -attrib reads a raw span-record file (elan-live -spans-out) and prints
+// where each training step's time went: compute, communication,
+// coordination and stall per rank, with stragglers flagged against the
+// fleet P95.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"github.com/elan-sys/elan/internal/metrics"
+	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/trace"
 )
 
@@ -49,16 +56,39 @@ func main() {
 		gpus    = flag.Int("gpus", 128, "cluster GPU count")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		dump    = flag.Bool("dump", false, "print every job instead of stats")
+		attrib  = flag.String("attrib", "",
+			"read a raw span-record JSON file (elan-live -spans-out) and print the per-step time attribution")
 	)
 	flag.Parse()
 	// The Go runtime forwards SIGPIPE from writes to stdout as a process
 	// kill; ignore it so the write returns EPIPE and pipeWriter can turn
 	// the truncation into a clean exit.
 	signal.Ignore(syscall.SIGPIPE)
+	if *attrib != "" {
+		if err := runAttrib(&pipeWriter{w: os.Stdout}, *attrib); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(&pipeWriter{w: os.Stdout}, *hours, *perDay, *service, *gpus, *seed, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "elan-trace:", err)
 		os.Exit(1)
 	}
+}
+
+// runAttrib folds a recorded span file into the per-step phase attribution.
+func runAttrib(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadSpans(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return telemetry.WriteAttribution(w, telemetry.Attribute(spans))
 }
 
 func run(w io.Writer, hours float64, perDay int, service float64, gpus int, seed int64, dump bool) error {

@@ -125,6 +125,20 @@ type (
 	MetricsRegistry = telemetry.Registry
 	// TelemetryServer serves /metrics and /healthz over HTTP.
 	TelemetryServer = telemetry.DebugServer
+	// TraceContext is a span's wire identity (trace + span + process); it
+	// travels inside transport messages so one adjustment renders as a
+	// single cross-process span tree.
+	TraceContext = telemetry.TraceContext
+	// FlightRecorder is the always-on black box: a fixed-capacity ring of
+	// recent span/event records with an allocation-free record path, dumped
+	// on faults and crashes. Attach via FleetConfig.Flight or
+	// TraceRecorder.SetFlightRecorder.
+	FlightRecorder = telemetry.FlightRecorder
+	// FlightRecord is one slot of the flight ring.
+	FlightRecord = telemetry.FlightRecord
+	// AttribSummary is a trace's per-step time attribution: compute/comm/
+	// coord/stall totals per rank step plus straggler flags.
+	AttribSummary = telemetry.AttribSummary
 )
 
 // Adjustment kinds.
@@ -263,6 +277,36 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 	return telemetry.WriteChromeTrace(w, spans)
 }
+
+// NewFlightRecorder pre-allocates a flight ring of the given capacity
+// (<= 0 selects the default). Recording into it never allocates; dump it
+// with its DumpNow/LastDump and render dumps with WriteFlightDump.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return telemetry.NewFlightRecorder(capacity)
+}
+
+// WriteFlightDump renders a flight-recorder dump as a readable postmortem
+// log, oldest record first.
+func WriteFlightDump(w io.Writer, reason string, recs []FlightRecord) error {
+	return telemetry.WriteFlightDump(w, reason, recs)
+}
+
+// Attribute folds a trace's per-rank span trees into compute/comm/coord/
+// stall phase totals per step and flags stragglers against the fleet P95.
+func Attribute(spans []SpanRecord) AttribSummary { return telemetry.Attribute(spans) }
+
+// WriteAttribution renders an attribution summary as a per-step table plus
+// fleet totals.
+func WriteAttribution(w io.Writer, a AttribSummary) error {
+	return telemetry.WriteAttribution(w, a)
+}
+
+// WriteSpans serializes raw span records as JSON — the interchange format
+// between elan-live -spans-out and elan-trace -attrib.
+func WriteSpans(w io.Writer, spans []SpanRecord) error { return telemetry.WriteSpans(w, spans) }
+
+// ReadSpans parses a WriteSpans file.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) { return telemetry.ReadSpans(r) }
 
 // NewTelemetryServer serves reg's /metrics (Prometheus text format) and
 // /healthz on addr (e.g. "localhost:9090"; port 0 picks a free port —

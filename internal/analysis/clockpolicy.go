@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"sort"
 )
 
 // clockBanned are the time-package functions that read or wait on wall
@@ -20,6 +21,20 @@ var clockBanned = map[string]bool{
 var clockAllowedPkgs = map[string]bool{
 	"internal/clock":    true,
 	"internal/simclock": true,
+}
+
+// ClockAllowedPackages returns the sorted allowlist of packages that may
+// touch the time package directly. Exported so a test (run in CI) can pin
+// the allowlist: it must never grow silently, because every package outside
+// it — telemetry and its flight recorder included — is what keeps traces on
+// exact virtual time and chaos replays deterministic.
+func ClockAllowedPackages() []string {
+	pkgs := make([]string, 0, len(clockAllowedPkgs))
+	for p := range clockAllowedPkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	return pkgs
 }
 
 // ClockPolicy enforces the unified-time invariant across the whole tree:

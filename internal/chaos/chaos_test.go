@@ -5,10 +5,13 @@ import (
 	"math"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/coord"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // guardGoroutines fails the test if goroutines outlive the harness teardown.
@@ -68,6 +71,65 @@ func TestFormatEventsStable(t *testing.T) {
 		t.Fatalf("FormatEvents = %q, want %q", got, want)
 	}
 }
+
+// TestFlightRecorderCapturesFaults: with a flight recorder wired through
+// the harness, every injected fault freezes a dump of the recent span
+// history, and the fleet's tracer feeds the ring continuously.
+func TestFlightRecorderCapturesFaults(t *testing.T) {
+	guardGoroutines(t)
+	flight := telemetry.NewFlightRecorder(512)
+	h, err := New(Config{
+		Workers:    2,
+		TotalBatch: 24,
+		Schedule: Schedule{Seed: 7, Faults: []Fault{
+			{Iter: 2, Kind: WorkerCrash, Target: "agent-1"},
+			{Iter: 4, Kind: WorkerRestart, Target: "agent-1"},
+		}},
+		Tracer: telemetry.NewRecorder(h0clock(), 0),
+		Flight: flight,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer h.Close()
+	if err := h.Run(6); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	reason, dump := flight.LastDump()
+	if reason != "worker.restart" {
+		t.Fatalf("last dump reason = %q, want worker.restart", reason)
+	}
+	if len(dump) == 0 {
+		t.Fatal("fault dump is empty")
+	}
+	var chaosMarks, spanRecs int
+	for _, r := range dump {
+		if r.Kind == 'E' && r.Proc == "chaos" {
+			chaosMarks++
+		}
+		if r.Kind == 'S' {
+			spanRecs++
+		}
+	}
+	if chaosMarks < 2 {
+		t.Errorf("chaos markers in dump = %d, want both faults", chaosMarks)
+	}
+	if spanRecs == 0 {
+		t.Error("no spans reached the flight ring from the fleet tracer")
+	}
+	var sb strings.Builder
+	if err := telemetry.WriteFlightDump(&sb, reason, dump); err != nil {
+		t.Fatalf("WriteFlightDump: %v", err)
+	}
+	if !strings.Contains(sb.String(), "worker.crash") {
+		t.Errorf("rendered dump missing crash marker:\n%s", sb.String())
+	}
+}
+
+// h0clock hands the harness tracer the same epoch the harness itself uses
+// (time.Unix(0, 0)); the harness owns the sim driver, the recorder only
+// needs a matching time source for construction.
+func h0clock() clock.Clock { return clock.NewSim(time.Unix(0, 0)) }
 
 // midAdjustmentSchedule crashes and restarts both a worker and the AM while
 // a scale-out adjustment is in flight — the acceptance scenario.

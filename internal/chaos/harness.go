@@ -33,6 +33,11 @@ type Config struct {
 	Cluster *topology.Cluster
 	// BucketElems enables gradient bucketing in the fleet's reducers.
 	BucketElems int
+	// Flight, when set, receives every finished span from the fleet's
+	// tracer (if that tracer is a *telemetry.Recorder) plus a chaos marker
+	// event per injected fault, and is dumped automatically on each fault
+	// so the recent span history around a disruption survives.
+	Flight *telemetry.FlightRecorder
 }
 
 // Harness owns a fully wired rig — sim clock, bus with the fault hook
@@ -110,6 +115,7 @@ func New(cfg Config) (*Harness, error) {
 		Metrics:     cfg.Metrics,
 		Cluster:     cfg.Cluster,
 		BucketElems: cfg.BucketElems,
+		Flight:      cfg.Flight,
 	})
 	if err != nil {
 		stopAuto()
@@ -185,6 +191,12 @@ func (h *Harness) applyDue() {
 // hand-written schedule) is recorded in the report, not the log.
 func (h *Harness) apply(f Fault) {
 	h.mFaults.Inc()
+	// Mark the fault on the flight recorder's timeline and freeze the recent
+	// span history before the fault lands (nil-safe; no-op when unset). The
+	// dump itself depends on goroutine scheduling and must never feed the
+	// byte-compared event log.
+	h.cfg.Flight.RecordEvent("chaos", f.Kind.String()+" iter="+fmt.Sprint(f.Iter), h.Sim.Now())
+	h.cfg.Flight.DumpNow(f.Kind.String())
 	switch f.Kind {
 	case WorkerCrash:
 		h.log("worker.crash target=" + f.Target)

@@ -221,6 +221,16 @@ func (g *Group) SetTelemetry(tr telemetry.Tracer, reg *telemetry.Registry, clk c
 	g.mElements = reg.Counter("collective_allreduce_elements_total")
 }
 
+// Tracer returns the group's tracer (Nop until SetTelemetry attaches one),
+// so per-rank callers — the ddp reducer, the worker agents — can open spans
+// on the same recorder the allreduce spans land in.
+func (g *Group) Tracer() telemetry.Tracer {
+	if !g.instrumented {
+		return telemetry.Nop{}
+	}
+	return g.tr
+}
+
 // Size returns the number of ranks.
 func (g *Group) Size() int { return g.n }
 
@@ -274,21 +284,35 @@ func (g *Group) recv(to int) (chunkMsg, error) {
 // SetTelemetry attached runs the bare engine with zero instrumentation cost
 // and zero steady-state allocations.
 func (g *Group) AllReduce(rank int, vec []float64) error {
-	return g.allReduceTagged(rank, vec, -1)
+	return g.allReduceTagged(telemetry.TraceContext{}, rank, vec, -1)
 }
 
 // AllReduceBucket is AllReduce for one gradient bucket: identical reduction,
 // but the telemetry span additionally carries the bucket index so overlap
 // schedules can be read off the trace. bucket must be >= 0.
 func (g *Group) AllReduceBucket(rank int, vec []float64, bucket int) error {
-	return g.allReduceTagged(rank, vec, bucket)
+	return g.allReduceTagged(telemetry.TraceContext{}, rank, vec, bucket)
 }
 
-func (g *Group) allReduceTagged(rank int, vec []float64, bucket int) error {
+// AllReduceBucketFrom is AllReduceBucket with a causal parent: the span
+// becomes a remote child of the given trace context (typically the rank's
+// step span), so overlapped reductions render inside the step that issued
+// them instead of as disconnected roots. A zero parent behaves exactly like
+// AllReduceBucket.
+func (g *Group) AllReduceBucketFrom(parent telemetry.TraceContext, rank int, vec []float64, bucket int) error {
+	return g.allReduceTagged(parent, rank, vec, bucket)
+}
+
+func (g *Group) allReduceTagged(parent telemetry.TraceContext, rank int, vec []float64, bucket int) error {
 	if !g.instrumented {
 		return g.reduce(rank, vec)
 	}
-	span := g.tr.StartSpan("collective.allreduce")
+	var span *telemetry.Span
+	if parent.Valid() {
+		span = telemetry.StartRemote(g.tr, "collective.allreduce", parent)
+	} else {
+		span = g.tr.StartSpan("collective.allreduce")
+	}
 	span.Annotate("link", g.link)
 	span.AnnotateInt("rank", rank)
 	span.AnnotateInt("ranks", g.n)

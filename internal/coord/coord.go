@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"github.com/elan-sys/elan/internal/store"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // Errors returned by the AM.
@@ -106,6 +107,11 @@ type Adjustment struct {
 	// Add are the worker names joining; Remove are those leaving.
 	Add    []string
 	Remove []string
+	// Trace is the causal identity of the scheduler request that opened the
+	// adjustment, carried through the Pending state so the fleet's
+	// apply-side spans join the original request's tree. Zero when the
+	// request was untraced.
+	Trace telemetry.TraceContext
 }
 
 // persisted is the gob-serialized AM state saved to the store.
@@ -120,6 +126,9 @@ type pendingState struct {
 	Add      []string
 	Remove   []string
 	Reported map[string]bool
+	// Trace survives persistence (exported for gob) so a recovered AM still
+	// hands the original request's causal identity to Coordinate.
+	Trace telemetry.TraceContext
 }
 
 // AM is the application master of one job. It is safe for concurrent use:
@@ -240,6 +249,14 @@ func (am *AM) Seq() int64 {
 // workers that will leave. If no new workers are required (pure scale-in),
 // the adjustment is immediately Ready.
 func (am *AM) RequestAdjustment(kind Kind, add, remove []string) error {
+	return am.RequestAdjustmentTraced(kind, add, remove, telemetry.TraceContext{})
+}
+
+// RequestAdjustmentTraced is RequestAdjustment carrying the requesting
+// span's identity: the context is stored with the pending adjustment and
+// returned on the eventual Coordinate, linking request and application into
+// one cross-process trace.
+func (am *AM) RequestAdjustmentTraced(kind Kind, add, remove []string, tc telemetry.TraceContext) error {
 	if kind != ScaleOut && kind != ScaleIn && kind != Migrate {
 		return fmt.Errorf("coord: invalid kind %v", kind)
 	}
@@ -263,6 +280,7 @@ func (am *AM) RequestAdjustment(kind Kind, add, remove []string) error {
 		Add:      append([]string(nil), add...),
 		Remove:   append([]string(nil), remove...),
 		Reported: reported,
+		Trace:    tc,
 	}
 	if len(add) == 0 {
 		am.state = Ready
@@ -320,6 +338,7 @@ func (am *AM) Coordinate() (Adjustment, bool, error) {
 		Kind:   am.pending.Kind,
 		Add:    append([]string(nil), am.pending.Add...),
 		Remove: append([]string(nil), am.pending.Remove...),
+		Trace:  am.pending.Trace,
 	}
 	am.state = Idle
 	am.pending = nil

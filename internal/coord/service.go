@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/transport"
 )
 
@@ -31,6 +32,9 @@ type AdjustRequestMsg struct {
 	Kind   Kind     `json:"kind"`
 	Add    []string `json:"add"`
 	Remove []string `json:"remove"`
+	// Trace is the requesting span's identity, persisted with the pending
+	// adjustment so the eventual apply joins the requester's trace.
+	Trace telemetry.TraceContext `json:"trace,omitempty"`
 }
 
 // ReportMsg is the payload of worker.report.
@@ -57,6 +61,7 @@ type Service struct {
 	ep   *transport.Endpoint
 	bus  *transport.Bus
 	name string
+	tr   telemetry.Tracer
 }
 
 // NewService registers the AM at name on the bus and starts serving. The
@@ -72,7 +77,7 @@ func NewServiceCtx(ctx context.Context, am *AM, bus *transport.Bus, name string)
 	if am == nil {
 		return nil, fmt.Errorf("coord: nil AM")
 	}
-	s := &Service{am: am, bus: bus, name: name}
+	s := &Service{am: am, bus: bus, name: name, tr: telemetry.Nop{}}
 	ep, err := bus.Endpoint(name, s.handle)
 	if err != nil {
 		return nil, fmt.Errorf("coord: register service: %w", err)
@@ -88,6 +93,10 @@ func NewServiceCtx(ctx context.Context, am *AM, bus *transport.Bus, name string)
 // against it fail with transport.ErrClosed. Closing twice is safe.
 func (s *Service) Close() { s.bus.Remove(s.name) }
 
+// SetTracer makes the service open a span per AM operation (a remote child
+// of the transport handler's span, which itself chains to the caller).
+func (s *Service) SetTracer(tr telemetry.Tracer) { s.tr = telemetry.OrNop(tr) }
+
 func (s *Service) handle(m transport.Message) ([]byte, error) {
 	switch m.Kind {
 	case KindAdjustRequest:
@@ -95,7 +104,21 @@ func (s *Service) handle(m transport.Message) ([]byte, error) {
 		if err := json.Unmarshal(m.Payload, &req); err != nil {
 			return nil, fmt.Errorf("coord: bad adjust.request: %w", err)
 		}
-		if err := s.am.RequestAdjustment(req.Kind, req.Add, req.Remove); err != nil {
+		span := telemetry.StartRemote(s.tr, "coord.adjust_request", m.Trace)
+		span.Annotate("kind", req.Kind.String())
+		// The trace stored with the pending adjustment is the original
+		// requester's when it sent one, else this service span's, so
+		// apply-side spans always have the deepest available anchor.
+		tc := req.Trace
+		if !tc.Valid() {
+			tc = span.Context()
+		}
+		err := s.am.RequestAdjustmentTraced(req.Kind, req.Add, req.Remove, tc)
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
+		if err != nil {
 			return nil, err
 		}
 		return []byte(`{}`), nil
@@ -104,12 +127,24 @@ func (s *Service) handle(m transport.Message) ([]byte, error) {
 		if err := json.Unmarshal(m.Payload, &req); err != nil {
 			return nil, fmt.Errorf("coord: bad worker.report: %w", err)
 		}
-		if err := s.am.ReportReady(req.Worker); err != nil {
+		span := telemetry.StartRemote(s.tr, "coord.report_ready", m.Trace)
+		span.Annotate("worker", req.Worker)
+		err := s.am.ReportReady(req.Worker)
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
+		if err != nil {
 			return nil, err
 		}
 		return []byte(`{}`), nil
 	case KindCoordinate:
+		span := telemetry.StartRemote(s.tr, "coord.coordinate", m.Trace)
 		adj, ok, err := s.am.Coordinate()
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -155,27 +190,47 @@ func NewClientCtx(ctx context.Context, bus *transport.Bus, name, amName string) 
 
 // RequestAdjustment calls the AM's service API over the bus.
 func (c *Client) RequestAdjustment(kind Kind, add, remove []string) error {
-	payload, err := json.Marshal(AdjustRequestMsg{Kind: kind, Add: add, Remove: remove})
+	return c.RequestAdjustmentTraced(c.ctx, kind, add, remove, telemetry.TraceContext{})
+}
+
+// RequestAdjustmentTraced is RequestAdjustment under a caller context (which
+// may carry the requesting span for the transport layer) and with an
+// explicit trace context stored alongside the pending adjustment. A nil ctx
+// selects the client's parent context.
+func (c *Client) RequestAdjustmentTraced(ctx context.Context, kind Kind, add, remove []string, tc telemetry.TraceContext) error {
+	payload, err := json.Marshal(AdjustRequestMsg{Kind: kind, Add: add, Remove: remove, Trace: tc})
 	if err != nil {
 		return err
 	}
-	_, err = c.ep.CallCtx(c.ctx, c.amName, KindAdjustRequest, payload)
+	_, err = c.ep.CallCtx(c.callCtx(ctx), c.amName, KindAdjustRequest, payload)
 	return err
 }
 
 // ReportReady reports this client's worker as started and initialized.
 func (c *Client) ReportReady(worker string) error {
+	return c.ReportReadyCtx(c.ctx, worker)
+}
+
+// ReportReadyCtx is ReportReady under a caller context; a span carried in
+// ctx makes the report's transport call part of its trace.
+func (c *Client) ReportReadyCtx(ctx context.Context, worker string) error {
 	payload, err := json.Marshal(ReportMsg{Worker: worker})
 	if err != nil {
 		return err
 	}
-	_, err = c.ep.CallCtx(c.ctx, c.amName, KindWorkerReport, payload)
+	_, err = c.ep.CallCtx(c.callCtx(ctx), c.amName, KindWorkerReport, payload)
 	return err
 }
 
 // Coordinate polls the AM for a pending adjustment.
 func (c *Client) Coordinate() (Adjustment, bool, error) {
-	out, err := c.ep.CallCtx(c.ctx, c.amName, KindCoordinate, nil)
+	return c.CoordinateCtx(c.ctx)
+}
+
+// CoordinateCtx is Coordinate under a caller context; a span carried in ctx
+// makes the coordination round-trip part of its trace.
+func (c *Client) CoordinateCtx(ctx context.Context) (Adjustment, bool, error) {
+	out, err := c.ep.CallCtx(c.callCtx(ctx), c.amName, KindCoordinate, nil)
 	if err != nil {
 		return Adjustment{}, false, err
 	}
@@ -184,6 +239,13 @@ func (c *Client) Coordinate() (Adjustment, bool, error) {
 		return Adjustment{}, false, fmt.Errorf("coord: bad coord reply: %w", err)
 	}
 	return reply.Adjustment, reply.HasAdjustment, nil
+}
+
+func (c *Client) callCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return c.ctx
+	}
+	return ctx
 }
 
 // AMState fetches the AM's state for monitoring.

@@ -386,6 +386,15 @@ func (lj *LiveJob) stepLocked() (_ float64, err error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rspan := span.Child("core.rank_step")
+			rspan.AnnotateInt("rank", w)
+			rspan.AnnotateInt("iter", lj.iter)
+			defer func() {
+				if errs[w] != nil {
+					rspan.Annotate("error", errs[w].Error())
+				}
+				rspan.End()
+			}()
 			worker := lj.workers[w]
 			bn := shards[w].hi - shards[w].lo
 			if bn <= 0 {
@@ -396,28 +405,34 @@ func (lj *LiveJob) stepLocked() (_ float64, err error) {
 				worker.batchX = tensor.MustNew(bn, lj.dataset.Features)
 				worker.batchY = make([]int, bn)
 			}
+			fspan := rspan.Child("core.forward")
 			if err := lj.dataset.BatchInto(worker.batchX, worker.batchY, shards[w].lo, shards[w].hi); err != nil {
+				fspan.End()
 				errs[w] = err
 				return
 			}
 			worker.net.ZeroGrads()
 			out, err := worker.net.Forward(worker.batchX)
 			if err != nil {
+				fspan.End()
 				errs[w] = err
 				return
 			}
 			loss, grad, err := worker.net.SoftmaxLoss(out, worker.batchY)
+			fspan.End()
 			if err != nil {
 				errs[w] = err
 				return
 			}
 			losses[w] = loss
-			if err := worker.red.BackwardAllReduce(lj.group, w, grad); err != nil {
+			if err := worker.red.BackwardAllReduceTraced(lj.group, w, grad, rspan.Context()); err != nil {
 				errs[w] = err
 				return
 			}
+			ospan := rspan.Child("core.optimize")
 			worker.opt.LR = lr
 			errs[w] = worker.opt.Step(worker.net.Params(), worker.net.Grads())
+			ospan.End()
 		}()
 	}
 	wg.Wait()
@@ -539,7 +554,7 @@ func (lj *LiveJob) ScaleOutCtx(ctx context.Context, n int) (err error) {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("core: scale-out cancelled before request: %w", err)
 	}
-	if err := lj.am.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
+	if err := lj.am.RequestAdjustmentTraced(coord.ScaleOut, names, nil, span.Context()); err != nil {
 		return err
 	}
 	// The AM has accepted the request: past this point the adjustment runs
@@ -633,7 +648,7 @@ func (lj *LiveJob) ScaleInCtx(ctx context.Context, n int) (err error) {
 	for _, w := range lj.workers[newN:] {
 		names = append(names, w.name)
 	}
-	if err := lj.am.RequestAdjustment(coord.ScaleIn, nil, names); err != nil {
+	if err := lj.am.RequestAdjustmentTraced(coord.ScaleIn, nil, names, span.Context()); err != nil {
 		return err
 	}
 	span.Event("commit-point")

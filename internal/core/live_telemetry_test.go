@@ -122,11 +122,13 @@ func TestStepSpansOnSimClock(t *testing.T) {
 		t.Fatalf("Step: %v", err)
 	}
 	at := epoch.Add(time.Second)
-	var steps, reduces int
+	var stepID uint64
+	count := map[string]int{}
 	for _, s := range rec.Snapshot() {
+		count[s.Name]++
 		switch s.Name {
 		case "core.step":
-			steps++
+			stepID = s.ID
 			if !s.Start.Equal(at) || !s.End.Equal(at) {
 				t.Errorf("core.step window = [%v, %v], want %v", s.Start, s.End, at)
 			}
@@ -134,17 +136,30 @@ func TestStepSpansOnSimClock(t *testing.T) {
 				t.Errorf("iter attr = %q, want 0", iter)
 			}
 		case "collective.allreduce":
-			reduces++
 			if link, _ := s.Attr("link"); link != "inproc" {
 				t.Errorf("link attr = %q, want inproc", link)
 			}
 		}
 	}
-	if steps != 1 {
-		t.Errorf("core.step spans = %d, want 1", steps)
+	if count["core.step"] != 1 {
+		t.Errorf("core.step spans = %d, want 1", count["core.step"])
 	}
-	if reduces != 2 { // one per worker rank
-		t.Errorf("collective.allreduce spans = %d, want 2", reduces)
+	// Each rank gets its own step tree; backward and allreduce join it.
+	for name, want := range map[string]int{
+		"core.rank_step":       2,
+		"core.forward":         2,
+		"core.optimize":        2,
+		"ddp.backward":         2,
+		"collective.allreduce": 2,
+	} {
+		if count[name] != want {
+			t.Errorf("%s spans = %d, want %d", name, count[name], want)
+		}
+	}
+	for _, s := range rec.Snapshot() {
+		if s.Name == "core.rank_step" && s.Parent != stepID {
+			t.Errorf("core.rank_step parent = %d, want core.step %d", s.Parent, stepID)
+		}
 	}
 	if got := reg.Counter("core_steps_total").Value(); got != 1 {
 		t.Errorf("core_steps_total = %d, want 1", got)

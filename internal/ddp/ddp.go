@@ -22,6 +22,7 @@ import (
 
 	"github.com/elan-sys/elan/internal/collective"
 	"github.com/elan-sys/elan/internal/nn"
+	"github.com/elan-sys/elan/internal/telemetry"
 	"github.com/elan-sys/elan/internal/tensor"
 )
 
@@ -45,10 +46,12 @@ type bucket struct {
 
 // reduceReq names the group and rank a step's buckets reduce over; the
 // elastic runtime swaps groups between steps, so they are per-request
-// rather than per-reducer state.
+// rather than per-reducer state. tc is the causal parent for the step's
+// allreduce spans (zero when untraced).
 type reduceReq struct {
 	g    *collective.Group
 	rank int
+	tc   telemetry.TraceContext
 }
 
 // Reducer owns a network's flattened gradient vector and the bucket plan
@@ -131,6 +134,15 @@ func (r *Reducer) NumBuckets() int { return len(r.buckets) }
 // same bucket plan. Blocking is bounded by g.Close, which aborts in-flight
 // reductions with collective.ErrClosed.
 func (r *Reducer) BackwardAllReduce(g *collective.Group, rank int, lossGrad *tensor.Matrix) error {
+	return r.BackwardAllReduceTraced(g, rank, lossGrad, telemetry.TraceContext{})
+}
+
+// BackwardAllReduceTraced is BackwardAllReduce with a causal parent
+// (typically the rank's step span): the backward compute gets its own child
+// span and the overlapped per-bucket allreduce spans become children of the
+// same parent, so the trace shows compute and communication side by side.
+// A zero tc is the plain uninstrumented path.
+func (r *Reducer) BackwardAllReduceTraced(g *collective.Group, rank int, lossGrad *tensor.Matrix, tc telemetry.TraceContext) error {
 	if r.closed {
 		return fmt.Errorf("ddp: reducer closed")
 	}
@@ -138,15 +150,27 @@ func (r *Reducer) BackwardAllReduce(g *collective.Group, rank int, lossGrad *ten
 		r.started = true
 		go r.commLoop()
 	}
-	return r.step(g, rank, lossGrad)
+	return r.step(g, rank, lossGrad, tc)
 }
 
 // step submits the request to the comm goroutine, runs backward with the
 // bucket hook, and joins the reduction.
-func (r *Reducer) step(g *collective.Group, rank int, lossGrad *tensor.Matrix) error {
+func (r *Reducer) step(g *collective.Group, rank int, lossGrad *tensor.Matrix, tc telemetry.TraceContext) error {
 	r.fired = 0
-	r.req <- reduceReq{g: g, rank: rank}
+	r.req <- reduceReq{g: g, rank: rank, tc: tc}
+	// The backward span ends before the join below, so the comm-wait tail
+	// of the step is attributed to the (overlapping) allreduce spans, not
+	// to compute.
+	var bspan *telemetry.Span
+	if tc.Valid() {
+		bspan = telemetry.StartRemote(g.Tracer(), "ddp.backward", tc)
+		bspan.AnnotateInt("rank", rank)
+	}
 	bErr := r.net.BackwardLayers(lossGrad, r.onLayer)
+	if bErr != nil {
+		bspan.Annotate("error", bErr.Error())
+	}
+	bspan.End()
 	// The comm loop consumes exactly len(buckets) signals per request;
 	// if backward bailed early, feed it the rest so this rank still joins
 	// every collective its peers are counting on.
@@ -204,7 +228,7 @@ func (r *Reducer) runBuckets(req reduceReq) error {
 		}
 		bk := r.buckets[b]
 		seg := r.flat[bk.lo:bk.hi]
-		if err := req.g.AllReduceBucket(req.rank, seg, b); err != nil {
+		if err := req.g.AllReduceBucketFrom(req.tc, req.rank, seg, b); err != nil {
 			firstErr = err
 			continue
 		}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+)
+
+// buildRankStep records one rank's step with the given phase layout:
+// compute [0, c), comm [c-overlap, c-overlap+m) (overlap claimed by
+// compute), then idle until total.
+func buildRankStep(rec *Recorder, sim *clock.Sim, rank, iter int, compute, comm, idle time.Duration) {
+	s := rec.StartSpan("worker.rank_step")
+	s.SetProc("agent")
+	s.AnnotateInt("rank", rank)
+	s.AnnotateInt("iter", iter)
+	f := s.Child("worker.forward")
+	sim.Advance(compute)
+	f.End()
+	c := s.Child("collective.allreduce")
+	sim.Advance(comm)
+	c.End()
+	sim.Advance(idle)
+	s.End()
+}
+
+func TestAttributePhases(t *testing.T) {
+	sim := clock.NewSim(epoch)
+	rec := NewRecorder(sim, 0)
+	buildRankStep(rec, sim, 0, 3, 100*time.Millisecond, 40*time.Millisecond, 10*time.Millisecond)
+	buildRankStep(rec, sim, 1, 3, 90*time.Millisecond, 50*time.Millisecond, 0)
+
+	a := Attribute(rec.Snapshot())
+	if len(a.RankSteps) != 2 || len(a.Steps) != 1 {
+		t.Fatalf("rank steps = %d, steps = %d, want 2 and 1", len(a.RankSteps), len(a.Steps))
+	}
+	r0 := a.RankSteps[0]
+	if r0.Rank != "0" || r0.Iter != 3 {
+		t.Fatalf("rank step order/keys wrong: %+v", r0)
+	}
+	if r0.Compute != 100*time.Millisecond || r0.Comm != 40*time.Millisecond || r0.Stall != 10*time.Millisecond {
+		t.Errorf("rank 0 = compute %v comm %v stall %v, want 100ms/40ms/10ms",
+			r0.Compute, r0.Comm, r0.Stall)
+	}
+	st := a.Steps[0]
+	if st.Ranks != 2 || st.Compute != 190*time.Millisecond || st.Comm != 90*time.Millisecond {
+		t.Errorf("step totals = %+v, want ranks=2 compute=190ms comm=90ms", st)
+	}
+	if a.Total != st.Total || a.StragglerEvents != 0 {
+		t.Errorf("summary totals = %v stragglers = %d", a.Total, a.StragglerEvents)
+	}
+}
+
+// TestAttributeOverlapPriority: where compute and comm overlap, compute
+// claims the time exactly once.
+func TestAttributeOverlapPriority(t *testing.T) {
+	sim := clock.NewSim(epoch)
+	rec := NewRecorder(sim, 0)
+	s := rec.StartSpan("core.rank_step")
+	s.AnnotateInt("rank", 0)
+	s.AnnotateInt("iter", 0)
+	b := s.Child("ddp.backward")         // compute [0, 100ms)
+	c := s.Child("collective.allreduce") // comm [0, 150ms), overlapping
+	sim.Advance(100 * time.Millisecond)
+	b.End()
+	sim.Advance(50 * time.Millisecond)
+	c.End()
+	s.End()
+	a := Attribute(rec.Snapshot())
+	r := a.RankSteps[0]
+	if r.Compute != 100*time.Millisecond || r.Comm != 50*time.Millisecond || r.Stall != 0 {
+		t.Fatalf("overlap split = compute %v comm %v stall %v, want 100ms/50ms/0",
+			r.Compute, r.Comm, r.Stall)
+	}
+}
+
+// TestAttributeStraggler: a rank far slower than both the fleet P95 and its
+// step's median is flagged.
+func TestAttributeStraggler(t *testing.T) {
+	sim := clock.NewSim(epoch)
+	rec := NewRecorder(sim, 0)
+	for iter := 0; iter < 5; iter++ {
+		for rank := 0; rank < 3; rank++ {
+			d := 100 * time.Millisecond
+			if iter == 4 && rank == 2 {
+				d = 400 * time.Millisecond // the straggler
+			}
+			buildRankStep(rec, sim, rank, iter, d, 0, 0)
+		}
+	}
+	a := Attribute(rec.Snapshot())
+	if a.StragglerEvents != 1 {
+		t.Fatalf("straggler events = %d, want 1", a.StragglerEvents)
+	}
+	last := a.Steps[len(a.Steps)-1]
+	if len(last.Stragglers) != 1 || last.Stragglers[0] != "2" {
+		t.Fatalf("stragglers = %v, want [2]", last.Stragglers)
+	}
+	for _, rs := range a.RankSteps {
+		if rs.Straggler != (rs.Iter == 4 && rs.Rank == "2") {
+			t.Errorf("straggler flag wrong on iter=%d rank=%s", rs.Iter, rs.Rank)
+		}
+	}
+}
+
+func TestClassifySpan(t *testing.T) {
+	cases := map[string]Phase{
+		"worker.forward":          PhaseCompute,
+		"ddp.backward":            PhaseCompute,
+		"core.optimize":           PhaseCompute,
+		"collective.allreduce":    PhaseComm,
+		"transport.call":          PhaseCoord,
+		"coord.adjust_request":    PhaseCoord,
+		"worker.apply_adjustment": PhaseCoord,
+		"worker.install_state":    PhaseCoord,
+		"worker.rank_step":        PhaseOther,
+		"core.step":               PhaseOther,
+	}
+	for name, want := range cases {
+		if got := ClassifySpan(name); got != want {
+			t.Errorf("ClassifySpan(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestAttributePublishAndWrite(t *testing.T) {
+	sim := clock.NewSim(epoch)
+	rec := NewRecorder(sim, 0)
+	buildRankStep(rec, sim, 0, 0, 100*time.Millisecond, 50*time.Millisecond, 0)
+	a := Attribute(rec.Snapshot())
+
+	reg := NewRegistry()
+	a.Publish(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{"attrib_compute_seconds 0.1", "attrib_comm_seconds 0.05", "attrib_rank_steps 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, sb.String())
+		}
+	}
+	a.Publish(nil) // nil registry is a no-op
+
+	sb.Reset()
+	if err := WriteAttribution(&sb, a); err != nil {
+		t.Fatalf("WriteAttribution: %v", err)
+	}
+	if !strings.Contains(sb.String(), "rank-steps=1") {
+		t.Errorf("summary line missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteAttribution(&sb, AttribSummary{}); err != nil {
+		t.Fatalf("WriteAttribution empty: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no rank-step spans") {
+		t.Errorf("empty summary message missing:\n%s", sb.String())
+	}
+}

@@ -3,29 +3,40 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"time"
 )
 
 // chromeEvent is one entry of the Chrome trace-event JSON array format
-// (the subset chrome://tracing and Perfetto consume): "X" complete events
-// for spans and "i" instant events for span events.
+// (the subset chrome://tracing and Perfetto consume): "M" metadata events
+// naming processes, "X" complete events for spans, "i" instant events for
+// span events, and "s"/"f" flow events drawing cross-process causality
+// arrows.
 type chromeEvent struct {
 	Name  string            `json:"name"`
-	Cat   string            `json:"cat"`
+	Cat   string            `json:"cat,omitempty"`
 	Phase string            `json:"ph"`
 	TS    float64           `json:"ts"` // microseconds
 	Dur   float64           `json:"dur,omitempty"`
 	PID   int               `json:"pid"`
 	TID   uint64            `json:"tid"`
+	ID    uint64            `json:"id,omitempty"` // flow binding id
+	BP    string            `json:"bp,omitempty"` // flow binding point
 	Scope string            `json:"s,omitempty"`
 	Args  map[string]string `json:"args,omitempty"`
 }
 
-// WriteChromeTrace renders spans as Chrome trace-event JSON. Each root
-// span's tree is placed on its own track (tid = root span ID), so nested
-// spans stack by time containment and concurrent operations get separate
-// rows. Timestamps are microseconds relative to the earliest span start,
-// which keeps the numbers small under both wall and simulated epochs.
+// WriteChromeTrace renders spans as Chrome trace-event JSON. Each logical
+// process (SpanRecord.Proc; empty renders as "main") becomes a pid with a
+// process_name metadata event, so Perfetto groups tracks by process.
+// Within a process, a span tree is placed on the track of its topmost
+// same-process ancestor (tid = that span's ID), so nested spans stack by
+// time containment and concurrent operations get separate rows. A span
+// whose recorded parent lives in a different process additionally emits an
+// "s"→"f" flow pair, so Perfetto draws the causality arrow across
+// processes. Timestamps are microseconds relative to the earliest span
+// start, which keeps the numbers small under both wall and simulated
+// epochs.
 func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 	if len(spans) == 0 {
 		_, err := io.WriteString(w, "[]\n")
@@ -37,23 +48,54 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 			origin = s.Start
 		}
 	}
-	// Resolve each span's root for track assignment.
-	parent := make(map[uint64]uint64, len(spans))
+	// Deterministic pid assignment: sorted process names, 1-based.
+	procSet := make(map[string]bool, 4)
 	for _, s := range spans {
-		parent[s.ID] = s.Parent
+		procSet[procLabel(s.Proc)] = true
 	}
-	root := func(id uint64) uint64 {
-		for parent[id] != 0 {
-			id = parent[id]
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	pidOf := make(map[string]int, len(procs))
+	for i, p := range procs {
+		pidOf[p] = i + 1
+	}
+	byID := make(map[uint64]SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	// track resolves the span's row: climb parents while they exist in the
+	// snapshot and stay in the same process; the topmost such ancestor's ID
+	// is the tid. Cross-process edges break the climb (they become flow
+	// arrows instead of nesting).
+	track := func(s SpanRecord) uint64 {
+		cur := s
+		for cur.Parent != 0 {
+			p, ok := byID[cur.Parent]
+			if !ok || procLabel(p.Proc) != procLabel(cur.Proc) {
+				break
+			}
+			cur = p
 		}
-		return id
+		return cur.ID
 	}
 	micros := func(t time.Time) float64 {
 		return float64(t.Sub(origin)) / float64(time.Microsecond)
 	}
-	events := make([]chromeEvent, 0, len(spans))
+	events := make([]chromeEvent, 0, len(spans)+len(procs))
+	for _, p := range procs {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pidOf[p],
+			Args:  map[string]string{"name": p},
+		})
+	}
 	for _, s := range spans {
-		tid := root(s.ID)
+		pid := pidOf[procLabel(s.Proc)]
+		tid := track(s)
 		var args map[string]string
 		if len(s.Attrs) > 0 {
 			args = make(map[string]string, len(s.Attrs))
@@ -67,7 +109,7 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 			Phase: "X",
 			TS:    micros(s.Start),
 			Dur:   micros(s.End) - micros(s.Start),
-			PID:   1,
+			PID:   pid,
 			TID:   tid,
 			Args:  args,
 		})
@@ -77,9 +119,32 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 				Cat:   "elan",
 				Phase: "i",
 				TS:    micros(ev.At),
-				PID:   1,
+				PID:   pid,
 				TID:   tid,
 				Scope: "t",
+			})
+		}
+		if p, ok := byID[s.Parent]; ok && procLabel(p.Proc) != procLabel(s.Proc) {
+			// Cross-process edge: flow arrow from the parent span's track
+			// to this span's start. The flow id is the child span's ID
+			// (unique per edge).
+			events = append(events, chromeEvent{
+				Name:  "causal",
+				Cat:   "elan.flow",
+				Phase: "s",
+				TS:    micros(p.Start),
+				PID:   pidOf[procLabel(p.Proc)],
+				TID:   track(p),
+				ID:    s.ID,
+			}, chromeEvent{
+				Name:  "causal",
+				Cat:   "elan.flow",
+				Phase: "f",
+				TS:    micros(s.Start),
+				PID:   pid,
+				TID:   tid,
+				ID:    s.ID,
+				BP:    "e",
 			})
 		}
 	}

@@ -40,12 +40,19 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
 	}
-	if len(events) != 3 { // two X spans + one instant
-		t.Fatalf("events = %d, want 3", len(events))
+	if len(events) != 4 { // process_name metadata + two X spans + one instant
+		t.Fatalf("events = %d, want 4", len(events))
 	}
 	byName := make(map[string]map[string]any)
 	for _, e := range events {
 		byName[e["name"].(string)] = e
+	}
+	meta := byName["process_name"]
+	if meta == nil || meta["ph"] != "M" {
+		t.Fatalf("missing process_name metadata event: %v", byName)
+	}
+	if args, ok := meta["args"].(map[string]any); !ok || args["name"] != "main" {
+		t.Errorf("process_name args = %v, want name=main", meta["args"])
 	}
 	rootEv, ok := byName["core.scale_out"]
 	if !ok {
@@ -87,7 +94,103 @@ func TestChromeTraceSeparateTracks(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatal(err)
 	}
-	if events[0]["tid"] == events[1]["tid"] {
-		t.Fatalf("concurrent roots share tid %v", events[0]["tid"])
+	var xs []map[string]any
+	for _, e := range events {
+		if e["ph"] == "X" {
+			xs = append(xs, e)
+		}
+	}
+	if len(xs) != 2 {
+		t.Fatalf("X events = %d, want 2", len(xs))
+	}
+	if xs[0]["tid"] == xs[1]["tid"] {
+		t.Fatalf("concurrent roots share tid %v", xs[0]["tid"])
+	}
+}
+
+// crossProcTrace records a two-process trace: a sched-side root whose
+// remote child runs on the AM with its own local grandchild.
+func crossProcTrace() []SpanRecord {
+	sim := clock.NewSim(epoch)
+	rec := NewRecorder(sim, 0)
+	root := rec.StartSpan("sched.request")
+	root.SetProc("fleet-sched")
+	sim.Advance(time.Millisecond)
+	remote := rec.StartRemoteSpan("coord.adjust_request", root.Context())
+	remote.SetProc("fleet-am")
+	sim.Advance(time.Millisecond)
+	grand := remote.Child("coord.persist")
+	sim.Advance(time.Millisecond)
+	grand.End()
+	remote.End()
+	root.End()
+	return rec.Snapshot()
+}
+
+// TestChromeTraceCrossProcess: each logical process gets its own pid with a
+// process_name metadata event, and a span whose parent lives in another
+// process gets an "s"→"f" flow pair so Perfetto draws the causality arrow.
+func TestChromeTraceCrossProcess(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, crossProcTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]float64{}
+	var flows []map[string]any
+	byName := map[string]map[string]any{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			procs[e["args"].(map[string]any)["name"].(string)] = e["pid"].(float64)
+		case "s", "f":
+			flows = append(flows, e)
+		case "X":
+			byName[e["name"].(string)] = e
+		}
+	}
+	if len(procs) != 2 || procs["fleet-sched"] == procs["fleet-am"] {
+		t.Fatalf("process metadata = %v, want two distinct pids", procs)
+	}
+	// Sorted proc names: fleet-am=1, fleet-sched=2.
+	if procs["fleet-am"] != 1 || procs["fleet-sched"] != 2 {
+		t.Errorf("pids = %v, want deterministic sorted assignment", procs)
+	}
+	if byName["sched.request"]["pid"] != procs["fleet-sched"] ||
+		byName["coord.adjust_request"]["pid"] != procs["fleet-am"] ||
+		byName["coord.persist"]["pid"] != procs["fleet-am"] {
+		t.Errorf("span pids wrong: %v", byName)
+	}
+	// The cross-process grandchild stays nested locally: no flow for it.
+	if len(flows) != 2 {
+		t.Fatalf("flow events = %d, want one s+f pair", len(flows))
+	}
+	s, f := flows[0], flows[1]
+	if s["ph"] != "s" || f["ph"] != "f" || s["id"] != f["id"] || f["bp"] != "e" {
+		t.Errorf("flow pair = %v / %v", s, f)
+	}
+	if s["pid"] != procs["fleet-sched"] || f["pid"] != procs["fleet-am"] {
+		t.Errorf("flow pids = %v → %v, want sched → am", s["pid"], f["pid"])
+	}
+	if f["ts"].(float64) != 1000 { // remote child starts at epoch+1ms
+		t.Errorf("flow arrival ts = %v, want 1000µs", f["ts"])
+	}
+}
+
+// TestChromeTraceDeterministic: the same sim-clock run exports byte-
+// identical JSON — traces are fixtures, and a diff means a real change.
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteChromeTrace(&a, crossProcTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, crossProcTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("identical runs exported different traces:\n%s\n---\n%s", a.String(), b.String())
 	}
 }

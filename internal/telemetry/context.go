@@ -1,0 +1,25 @@
+package telemetry
+
+import "context"
+
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span, so layers that
+// already thread a context.Context (transport calls, coord clients) can
+// propagate causality without new parameters. A nil span returns ctx
+// unchanged — the disabled path allocates nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

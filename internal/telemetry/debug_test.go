@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -75,4 +77,55 @@ func TestDebugServerShutdownNoLeak(t *testing.T) {
 	waitNumGoroutine(t, before)
 	// Closing twice is safe.
 	_ = srv.Close()
+}
+
+// TestDebugServerConcurrentRegistration: /metrics snapshots taken while
+// other goroutines are registering and bumping new instruments stay
+// well-formed and eventually expose everything registered.
+func TestDebugServerConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := NewDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewDebugServer: %v", err)
+	}
+	defer srv.Close()
+
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				reg.Counter(fmt.Sprintf("conc_counter_%d_%d", w, i)).Inc()
+				reg.Gauge(fmt.Sprintf("conc_gauge_%d_%d", w, i)).Set(1)
+			}
+		}()
+	}
+	// Scrape concurrently with the registrations; every response must be a
+	// valid snapshot (complete lines, no torn values).
+	for i := 0; i < 10; i++ {
+		code, body := get(t, "http://"+srv.Addr()+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, code)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if fields := strings.Fields(line); len(fields) != 2 {
+				t.Fatalf("torn metrics line %q", line)
+			}
+		}
+	}
+	wg.Wait()
+	_, body := get(t, "http://"+srv.Addr()+"/metrics")
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if !strings.Contains(body, fmt.Sprintf("conc_counter_%d_%d 1", w, i)) {
+				t.Fatalf("missing conc_counter_%d_%d after registration settled", w, i)
+			}
+		}
+	}
 }

@@ -20,10 +20,12 @@ type Recorder struct {
 	clk clock.Clock
 	max int
 
-	mu      sync.Mutex
-	nextID  uint64
-	spans   []SpanRecord
-	dropped int
+	mu       sync.Mutex
+	nextID   uint64
+	spans    []SpanRecord
+	dropped  int
+	flight   *FlightRecorder
+	mDropped *Counter
 }
 
 // NewRecorder builds a Recorder on the given clock. A nil clock selects the
@@ -44,44 +46,122 @@ func (r *Recorder) Clock() clock.Clock { return r.clk }
 
 func (r *Recorder) now() time.Time { return r.clk.Now() }
 
-// StartSpan implements Tracer.
-func (r *Recorder) StartSpan(name string) *Span { return r.startSpan(name, 0) }
+// SetFlightRecorder attaches an always-on flight recorder: every finished
+// span (and its events) is copied into the ring even when the span cap has
+// been hit, so the black box keeps rolling after the exportable trace is
+// full. Pass nil to detach.
+func (r *Recorder) SetFlightRecorder(f *FlightRecorder) {
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
 
-func (r *Recorder) startSpan(name string, parent uint64) *Span {
+// Instrument publishes the recorder's drop count as the
+// telemetry_spans_dropped counter on reg, so a silently-capped trace is
+// visible on the /metrics debug page.
+func (r *Recorder) Instrument(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	c := reg.Counter("telemetry_spans_dropped")
+	r.mu.Lock()
+	r.mDropped = c
+	c.Add(int64(r.dropped))
+	r.mu.Unlock()
+}
+
+// StartSpan implements Tracer. The span roots a fresh trace (trace ID =
+// span ID).
+func (r *Recorder) StartSpan(name string) *Span {
+	id := r.allocID()
+	return &Span{rec: r, id: id, trace: id, name: name, start: r.clk.Now()}
+}
+
+// StartRemoteSpan implements RemoteTracer: the new span joins the parent's
+// trace as a remote child, inheriting the parent's process label until
+// SetProc overrides it. An invalid parent degrades to a fresh root.
+func (r *Recorder) StartRemoteSpan(name string, parent TraceContext) *Span {
+	id := r.allocID()
+	if !parent.Valid() {
+		return &Span{rec: r, id: id, trace: id, name: name, start: r.clk.Now()}
+	}
+	return &Span{
+		rec: r, id: id, parent: parent.Span, trace: parent.Trace,
+		proc: parent.Proc, remote: true, name: name, start: r.clk.Now(),
+	}
+}
+
+func (r *Recorder) child(name string, parent *Span) *Span {
+	id := r.allocID()
+	return &Span{
+		rec: r, id: id, parent: parent.id, trace: parent.trace,
+		proc: parent.proc, name: name, start: r.clk.Now(),
+	}
+}
+
+func (r *Recorder) allocID() uint64 {
 	r.mu.Lock()
 	r.nextID++
 	id := r.nextID
 	r.mu.Unlock()
-	return &Span{rec: r, id: id, parent: parent, name: name, start: r.clk.Now()}
+	return id
 }
 
-// finish stores the span's record, honoring the span cap.
+// finish stores the span's record, honoring the span cap. The attr and
+// event slices are copied: the finished SpanRecord must not alias the
+// span's internal buffers (End makes later mutation a no-op, and the copy
+// guarantees the stored record is immutable regardless). The flight
+// recorder is fed before the cap check so the black box stays current even
+// when the exportable trace is full.
 func (r *Recorder) finish(s *Span) {
 	end := r.clk.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.spans) >= r.max {
-		r.dropped++
-		return
-	}
-	r.spans = append(r.spans, SpanRecord{
+	rec := SpanRecord{
 		ID:     s.id,
 		Parent: s.parent,
+		Trace:  s.trace,
+		Proc:   s.proc,
+		Remote: s.remote,
 		Name:   s.name,
 		Start:  s.start,
 		End:    end,
-		Attrs:  s.attrs,
-		Events: s.events,
-	})
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make([]Attr, len(s.attrs))
+		copy(rec.Attrs, s.attrs)
+	}
+	if len(s.events) > 0 {
+		rec.Events = make([]EventRecord, len(s.events))
+		copy(rec.Events, s.events)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.flight != nil {
+		r.flight.Record(rec)
+	}
+	if len(r.spans) >= r.max {
+		r.dropped++
+		r.mDropped.Inc()
+		return
+	}
+	r.spans = append(r.spans, rec)
 }
 
-// Snapshot returns a copy of the finished spans ordered by start time
+// Snapshot returns a deep copy of the finished spans ordered by start time
 // (ties broken by ID, i.e. creation order — deterministic under a sim
-// clock).
+// clock). Attr and event slices are copied too, so mutating a snapshot
+// never reaches the stored records or other snapshots.
 func (r *Recorder) Snapshot() []SpanRecord {
 	r.mu.Lock()
 	out := make([]SpanRecord, len(r.spans))
 	copy(out, r.spans)
+	for i := range out {
+		if len(out[i].Attrs) > 0 {
+			out[i].Attrs = append([]Attr(nil), out[i].Attrs...)
+		}
+		if len(out[i].Events) > 0 {
+			out[i].Events = append([]EventRecord(nil), out[i].Events...)
+		}
+	}
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {

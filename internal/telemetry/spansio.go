@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteSpans serializes span records as indented JSON, the raw-trace
+// interchange format between elan-live -spans-out and elan-trace -attrib.
+// Feed it Recorder.Snapshot() output: the snapshot order is deterministic
+// under a sim clock, so the file is too.
+func WriteSpans(w io.Writer, spans []SpanRecord) error {
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}
+
+// ReadSpans parses a WriteSpans file.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var spans []SpanRecord
+	if err := json.NewDecoder(r).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

@@ -44,8 +44,18 @@ type EventRecord struct {
 // SpanRecord is one finished span as stored by a Recorder.
 type SpanRecord struct {
 	// ID is unique within the recorder; Parent is 0 for root spans.
-	ID     uint64        `json:"id"`
-	Parent uint64        `json:"parent,omitempty"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the causal tree the span belongs to. A root span mints a
+	// trace equal to its own ID; children and remote children inherit it,
+	// so one cross-process operation shares one trace.
+	Trace uint64 `json:"trace,omitempty"`
+	// Proc is the logical process ("fleet-am", "agent-2", ...) the span ran
+	// in. Empty means the main process.
+	Proc string `json:"proc,omitempty"`
+	// Remote marks a span whose parent lives in another process: the
+	// parent ID arrived in a TraceContext rather than from a local *Span.
+	Remote bool          `json:"remote,omitempty"`
 	Name   string        `json:"name"`
 	Start  time.Time     `json:"start"`
 	End    time.Time     `json:"end"`
@@ -66,6 +76,20 @@ func (r SpanRecord) Attr(key string) (string, bool) {
 	return "", false
 }
 
+// TraceContext is the wire form of causality: just enough of a span's
+// identity (trace ID + span ID + logical process) to let the receiving side
+// open a remote child. It travels inside transport.Message, so one scale
+// adjustment that flows sched → AM → workers renders as a single tree. The
+// zero value is "no trace" and propagating it costs nothing.
+type TraceContext struct {
+	Trace uint64 `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
+	Proc  string `json:"proc,omitempty"`
+}
+
+// Valid reports whether the context names a real span.
+func (tc TraceContext) Valid() bool { return tc.Trace != 0 && tc.Span != 0 }
+
 // Tracer starts spans. The two implementations are Recorder (keeps finished
 // spans for export) and Nop (free). Component configs take a Tracer and
 // normalize nil to Nop via OrNop.
@@ -76,12 +100,25 @@ type Tracer interface {
 	StartSpan(name string) *Span
 }
 
+// RemoteTracer is the optional Tracer extension for opening a span whose
+// parent lives in another process, identified by a TraceContext extracted
+// from a message. Recorder implements it; Nop returns nil.
+type RemoteTracer interface {
+	Tracer
+	// StartRemoteSpan opens a span as a remote child of parent. An invalid
+	// (zero) parent degrades to a fresh root span.
+	StartRemoteSpan(name string, parent TraceContext) *Span
+}
+
 // Nop is the disabled tracer: StartSpan returns a nil span whose methods
 // all no-op without allocating.
 type Nop struct{}
 
 // StartSpan implements Tracer.
 func (Nop) StartSpan(string) *Span { return nil }
+
+// StartRemoteSpan implements RemoteTracer.
+func (Nop) StartRemoteSpan(string, TraceContext) *Span { return nil }
 
 // OrNop normalizes a possibly-nil Tracer to Nop, the plumbing idiom used
 // by every instrumented config.
@@ -90,6 +127,52 @@ func OrNop(tr Tracer) Tracer {
 		return Nop{}
 	}
 	return tr
+}
+
+// StartRemote opens a remote-child span on any Tracer: tracers that
+// implement RemoteTracer link to the parent context, others fall back to a
+// root span. A nil or Nop tracer returns nil, keeping disabled paths free.
+func StartRemote(tr Tracer, name string, parent TraceContext) *Span {
+	if tr == nil {
+		return nil
+	}
+	if rt, ok := tr.(RemoteTracer); ok {
+		return rt.StartRemoteSpan(name, parent)
+	}
+	return tr.StartSpan(name)
+}
+
+// procTracer labels every span it starts with a fixed logical process name.
+type procTracer struct {
+	inner Tracer
+	proc  string
+}
+
+func (p procTracer) StartSpan(name string) *Span {
+	s := p.inner.StartSpan(name)
+	s.SetProc(p.proc)
+	return s
+}
+
+func (p procTracer) StartRemoteSpan(name string, parent TraceContext) *Span {
+	s := StartRemote(p.inner, name, parent)
+	s.SetProc(p.proc)
+	return s
+}
+
+// WithProc wraps tr so every span it starts is labeled with the given
+// logical process name ("fleet-am", "agent-3", ...). Children inherit the
+// label; remote children carry it across process boundaries inside their
+// TraceContext. A nil or Nop tracer passes through unchanged, so the
+// disabled path stays allocation-free.
+func WithProc(tr Tracer, proc string) Tracer {
+	if tr == nil {
+		return Nop{}
+	}
+	if _, ok := tr.(Nop); ok {
+		return tr
+	}
+	return procTracer{inner: tr, proc: proc}
 }
 
 // Span is an in-progress operation. Spans are created by a Tracer (or as
@@ -102,6 +185,9 @@ type Span struct {
 	rec    *Recorder
 	id     uint64
 	parent uint64
+	trace  uint64
+	proc   string
+	remote bool
 	name   string
 	start  time.Time
 	attrs  []Attr
@@ -109,44 +195,66 @@ type Span struct {
 	ended  bool
 }
 
-// Child opens a nested span under s. On a nil span it returns nil, keeping
-// the whole tree free when tracing is off.
+// Child opens a nested span under s, inheriting its trace and process
+// label. On a nil span it returns nil, keeping the whole tree free when
+// tracing is off.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.rec.startSpan(name, s.id)
+	return s.rec.child(name, s)
 }
 
-// Annotate attaches a key/value attribute.
-func (s *Span) Annotate(key, value string) {
+// Context returns the span's wire identity for propagation in messages.
+// The nil span returns the zero TraceContext, so untraced paths propagate
+// "no trace" for free.
+func (s *Span) Context() TraceContext {
 	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: s.trace, Span: s.id, Proc: s.proc}
+}
+
+// SetProc overrides the span's logical process label. A no-op on nil or
+// ended spans.
+func (s *Span) SetProc(proc string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.proc = proc
+}
+
+// Annotate attaches a key/value attribute. After End the span record is
+// owned by the recorder, so late annotations are documented no-ops rather
+// than silent mutations of the finished record.
+func (s *Span) Annotate(key, value string) {
+	if s == nil || s.ended {
 		return
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 }
 
 // AnnotateInt attaches an integer attribute. The formatting cost is only
-// paid when the span is live.
+// paid when the span is live. A no-op after End.
 func (s *Span) AnnotateInt(key string, v int) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.Itoa(v)})
 }
 
-// AnnotateDuration attaches a duration attribute.
+// AnnotateDuration attaches a duration attribute. A no-op after End.
 func (s *Span) AnnotateDuration(key string, d time.Duration) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: d.String()})
 }
 
 // Event records an instantaneous named event at the current (injected)
-// clock reading — resends, commit points, rollbacks.
+// clock reading — resends, commit points, rollbacks. A no-op after End.
 func (s *Span) Event(name string) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
 	s.events = append(s.events, EventRecord{Name: name, At: s.rec.now()})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 // This file implements the same request/reply protocol over real TCP using
@@ -39,6 +40,10 @@ type rpcRequest struct {
 	ID      uint64
 	Kind    string
 	Payload []byte
+	// Trace carries the caller's span identity across the wire (gob-encoded
+	// with the rest of the request) so server-side spans join the caller's
+	// causal tree exactly as on the in-process bus.
+	Trace telemetry.TraceContext
 }
 
 type rpcResponse struct {
@@ -56,11 +61,23 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+	tr       telemetry.Tracer
+	proc     string
 }
 
 // NewServer creates a server dispatching to h.
 func NewServer(h Handler) *Server {
-	return &Server{handler: h, conns: make(map[net.Conn]struct{})}
+	return &Server{handler: h, conns: make(map[net.Conn]struct{}), tr: telemetry.Nop{}}
+}
+
+// SetTracer makes the server open a remote-child "transport.handle" span
+// per request, labeled with the given logical process name. Nil disables
+// tracing again.
+func (s *Server) SetTracer(tr telemetry.Tracer, proc string) {
+	s.mu.Lock()
+	s.tr = telemetry.OrNop(tr)
+	s.proc = proc
+	s.mu.Unlock()
 }
 
 // Listen binds to addr ("127.0.0.1:0" for an ephemeral port) and starts
@@ -119,7 +136,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resp := rpcResponse{ID: req.ID}
-		payload, err := s.handler(Message{ID: req.ID, Kind: req.Kind, Payload: req.Payload})
+		s.mu.Lock()
+		tr, proc := s.tr, s.proc
+		s.mu.Unlock()
+		msg := Message{ID: req.ID, Kind: req.Kind, Payload: req.Payload, Trace: req.Trace}
+		hspan := telemetry.StartRemote(tr, "transport.handle", req.Trace)
+		if hspan != nil {
+			hspan.SetProc(proc)
+			hspan.Annotate("kind", req.Kind)
+			msg.Trace = hspan.Context()
+		}
+		payload, err := s.handler(msg)
+		if err != nil {
+			hspan.Annotate("error", err.Error())
+		}
+		hspan.End()
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -179,7 +210,8 @@ func Call(ctx context.Context, addr, kind string, payload []byte, timeout time.D
 	}
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	req := rpcRequest{ID: 1, Kind: kind, Payload: payload}
+	req := rpcRequest{ID: 1, Kind: kind, Payload: payload,
+		Trace: telemetry.SpanFromContext(ctx).Context()}
 	if err := enc.Encode(&req); err != nil {
 		return nil, fmt.Errorf("transport: encode request: %w", err)
 	}

@@ -59,6 +59,10 @@ type Message struct {
 	To      string `json:"to"`
 	Kind    string `json:"kind"`
 	Payload []byte `json:"payload"`
+	// Trace carries the sender's span identity so the receiver's handler
+	// span joins the same causal tree. The zero value means "untraced" and
+	// costs nothing to propagate.
+	Trace telemetry.TraceContext `json:"trace"`
 }
 
 // Fate is a fault hook's verdict on one delivery leg.
@@ -376,7 +380,15 @@ func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte)
 	}
 	b := e.bus
 	b.mCalls.Inc()
-	span := b.tr.StartSpan("transport.call")
+	// A span already in ctx makes this call a child in the caller's causal
+	// tree; otherwise the call roots a fresh trace on the bus tracer.
+	var span *telemetry.Span
+	if parent := telemetry.SpanFromContext(ctx); parent != nil {
+		span = parent.Child("transport.call")
+	} else {
+		span = b.tr.StartSpan("transport.call")
+		span.SetProc(e.name)
+	}
 	span.Annotate("from", e.name)
 	span.Annotate("to", to)
 	span.Annotate("kind", kind)
@@ -396,6 +408,7 @@ func (e *Endpoint) CallCtx(ctx context.Context, to, kind string, payload []byte)
 		To:      to,
 		Kind:    kind,
 		Payload: payload,
+		Trace:   span.Context(),
 	}
 	ch := make(chan reply, 1)
 	e.mu.Lock()
@@ -552,7 +565,22 @@ func (e *Endpoint) handle(msg Message) ([]byte, error) {
 	var payload []byte
 	var err error
 	if h != nil {
+		// The handler span is a remote child of the sender's call span. Its
+		// context replaces msg.Trace only when a span was actually opened,
+		// so an untraced bus still forwards the sender's causality to
+		// handlers that trace on their own recorder.
+		hspan := telemetry.StartRemote(e.bus.tr, "transport.handle", msg.Trace)
+		if hspan != nil {
+			hspan.SetProc(e.name)
+			hspan.Annotate("from", msg.From)
+			hspan.Annotate("kind", msg.Kind)
+			msg.Trace = hspan.Context()
+		}
 		payload, err = h(msg)
+		if err != nil {
+			hspan.Annotate("error", err.Error())
+		}
+		hspan.End()
 	}
 	e.mu.Lock()
 	inf.r = reply{payload: payload, err: err}

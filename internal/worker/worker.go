@@ -50,9 +50,15 @@ type command struct {
 	n     int // group size (stepCmd)
 	lo    int // shard range (stepCmd)
 	hi    int
+	iter  int // fleet iteration (stepCmd, trace annotation)
 	lr    float64
 	group *collective.Group
 	state []float64 // installCmd payload
+	// tr/trace make the agent's spans remote children of the fleet span
+	// that issued the command. Both zero on untraced paths: StartRemote on
+	// a nil tracer returns a nil span, so the hot path stays free.
+	tr    telemetry.Tracer
+	trace telemetry.TraceContext
 	reply chan result
 }
 
@@ -136,7 +142,14 @@ func (a *Agent) loop(ds *data.Dataset) {
 			case stepCmd:
 				cmd.reply <- a.step(ds, cmd)
 			case installCmd:
-				cmd.reply <- result{err: a.install(cmd.state)}
+				span := telemetry.StartRemote(cmd.tr, "worker.install_state", cmd.trace)
+				span.SetProc(a.Name)
+				r := result{err: a.install(cmd.state)}
+				if r.err != nil {
+					span.Annotate("error", r.err.Error())
+				}
+				span.End()
+				cmd.reply <- r
 			case exportCmd:
 				state := a.net.FlattenParams(nil)
 				state = a.opt.FlattenState(state)
@@ -155,7 +168,21 @@ func (a *Agent) loop(ds *data.Dataset) {
 // after warm-up is agent-owned and reused — the batch buffers, the network
 // workspaces, and the reducer's flat gradient vector — so a steady-state
 // step allocates nothing.
-func (a *Agent) step(ds *data.Dataset, cmd command) result {
+func (a *Agent) step(ds *data.Dataset, cmd command) (res result) {
+	// The rank-step span is a remote child of the fleet's step span; its
+	// forward/optimize children plus the reducer's backward and allreduce
+	// spans are what the step-time attribution folds into phases. With no
+	// tracer in cmd every span below is nil and the path allocates nothing.
+	span := telemetry.StartRemote(cmd.tr, "worker.rank_step", cmd.trace)
+	span.SetProc(a.Name)
+	span.AnnotateInt("rank", cmd.rank)
+	span.AnnotateInt("iter", cmd.iter)
+	defer func() {
+		if res.err != nil {
+			span.Annotate("error", res.err.Error())
+		}
+		span.End()
+	}()
 	n := cmd.hi - cmd.lo
 	if n <= 0 {
 		return result{err: fmt.Errorf("worker: empty shard [%d, %d)", cmd.lo, cmd.hi)}
@@ -164,23 +191,30 @@ func (a *Agent) step(ds *data.Dataset, cmd command) result {
 		a.batchX = tensor.MustNew(n, ds.Features)
 		a.batchY = make([]int, n)
 	}
+	fspan := span.Child("worker.forward")
 	if err := ds.BatchInto(a.batchX, a.batchY, cmd.lo, cmd.hi); err != nil {
+		fspan.End()
 		return result{err: err}
 	}
 	a.net.ZeroGrads()
 	out, err := a.net.Forward(a.batchX)
 	if err != nil {
+		fspan.End()
 		return result{err: err}
 	}
 	loss, grad, err := a.net.SoftmaxLoss(out, a.batchY)
+	fspan.End()
 	if err != nil {
 		return result{err: err}
 	}
-	if err := a.red.BackwardAllReduce(cmd.group, cmd.rank, grad); err != nil {
+	if err := a.red.BackwardAllReduceTraced(cmd.group, cmd.rank, grad, span.Context()); err != nil {
 		return result{err: err}
 	}
+	ospan := span.Child("worker.optimize")
 	a.opt.LR = cmd.lr
-	if err := a.opt.Step(a.net.Params(), a.net.Grads()); err != nil {
+	err = a.opt.Step(a.net.Params(), a.net.Grads())
+	ospan.End()
+	if err != nil {
 		return result{err: err}
 	}
 	return result{loss: loss}
@@ -266,6 +300,11 @@ type FleetConfig struct {
 	// latency, adjustments, dead-worker detections); nil disables them. A
 	// fleet-created bus and the heartbeat monitor share it.
 	Metrics *telemetry.Registry
+	// Flight is the always-on black box: when set (and Tracer is a
+	// *telemetry.Recorder it is attached to), recent spans keep rolling
+	// through the ring and the fleet dumps it automatically on worker and
+	// AM crash paths. Nil disables it at zero cost.
+	Flight *telemetry.FlightRecorder
 	// LinkLabel tags the collective group's allreduce spans with a link
 	// level (topology naming); empty defaults to "inproc", the in-process
 	// goroutine substrate. Ignored when Cluster is set: the label then
@@ -333,6 +372,7 @@ type Fleet struct {
 	// Telemetry. lifeSpan covers Start..Close; the instruments are nil-safe
 	// so an uninstrumented fleet's step path is allocation-free.
 	tr             telemetry.Tracer
+	flight         *telemetry.FlightRecorder
 	lifeSpan       *telemetry.Span
 	mSteps         *telemetry.Counter
 	mStepSeconds   *telemetry.Histogram
@@ -430,6 +470,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		hb:             hb,
 		dead:           make(map[string]bool),
 		tr:             telemetry.OrNop(cfg.Tracer),
+		flight:         cfg.Flight,
 		mSteps:         cfg.Metrics.Counter("worker_steps_total"),
 		mStepSeconds:   cfg.Metrics.Histogram("worker_step_seconds"),
 		mAdjustments:   cfg.Metrics.Counter("worker_adjustments_total"),
@@ -439,6 +480,12 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		mAMCrashes:     cfg.Metrics.Counter("worker_am_crashes_total"),
 		mAMRecoveries:  cfg.Metrics.Counter("worker_am_recoveries_total"),
 		mCoordSkips:    cfg.Metrics.Counter("worker_coord_skips_total"),
+	}
+	// AM-side spans are labeled with the service's endpoint so the
+	// cross-process trace shows coord work on the fleet-am track.
+	amSvc.SetTracer(f.tr)
+	if rec, ok := cfg.Tracer.(*telemetry.Recorder); ok && cfg.Flight != nil {
+		rec.SetFlightRecorder(cfg.Flight)
 	}
 	if err := f.rebuildGroupLocked(cfg.Workers); err != nil {
 		f.Close()
@@ -472,6 +519,7 @@ func (f *Fleet) Start(ctx context.Context) error {
 	}
 	f.started = true
 	f.lifeSpan = f.tr.StartSpan("worker.fleet")
+	f.lifeSpan.SetProc("fleet-lead")
 	f.lifeSpan.AnnotateInt("workers", len(f.agents))
 	f.lifeSpan.Event("start")
 	if ctx != nil && ctx.Done() != nil {
@@ -560,20 +608,31 @@ func (f *Fleet) RequestScaleOut(n int) error {
 		return fmt.Errorf("worker: total batch %d not divisible by %d workers",
 			f.cfg.TotalBatch, len(f.agents)+n)
 	}
+	// The request span roots the adjustment's cross-process trace: the
+	// transport call, the AM's service spans, each new agent's report, and
+	// the eventual apply/install spans all join it. Proc "fleet-sched"
+	// because the request is the scheduler's act, not the lead worker's.
+	span := f.tr.StartSpan("worker.request_scale_out")
+	span.SetProc("fleet-sched")
+	span.AnnotateInt("add", n)
+	defer span.End()
 	names := make([]string, 0, n)
 	fresh := make([]*Agent, 0, n)
 	for i := 0; i < n; i++ {
 		a, err := f.spawnAgent()
 		if err != nil {
+			span.Annotate("error", err.Error())
 			return err
 		}
 		fresh = append(fresh, a)
 		names = append(names, a.Name)
 	}
-	if err := f.sched.RequestAdjustment(coord.ScaleOut, names, nil); err != nil {
+	reqCtx := telemetry.ContextWithSpan(f.ctx, span)
+	if err := f.sched.RequestAdjustmentTraced(reqCtx, coord.ScaleOut, names, nil, span.Context()); err != nil {
 		for _, a := range fresh {
 			a.stop()
 		}
+		span.Annotate("error", err.Error())
 		return err
 	}
 	for i, a := range fresh {
@@ -589,16 +648,24 @@ func (f *Fleet) RequestScaleOut(n int) error {
 			if err != nil {
 				return
 			}
+			// The report span runs on the new agent's own process track, a
+			// remote child of the request span (which may already be ended —
+			// only annotation is frozen by End, not parenthood).
+			rspan := telemetry.StartRemote(f.tr, "worker.report_ready", span.Context())
+			rspan.SetProc(name)
+			defer rspan.End()
+			rctx := telemetry.ContextWithSpan(f.ctx, rspan)
 			// Retry until the report lands: the AM may be down (crashed,
 			// recovering) when the agent first comes up, and a report lost
 			// to an outage would leave the adjustment Pending forever.
 			// ErrUnknownWorker is terminal — the adjustment no longer wants
 			// this worker (already admitted or superseded).
 			for {
-				err := cl.ReportReady(name)
+				err := cl.ReportReadyCtx(rctx, name)
 				if err == nil || errors.Is(err, coord.ErrUnknownWorker) {
 					return
 				}
+				rspan.Event("retry")
 				if f.clk.Sleep(f.ctx, 50*time.Millisecond) != nil {
 					return // fleet closing
 				}
@@ -623,7 +690,12 @@ func (f *Fleet) RequestScaleIn(n int) error {
 	for _, a := range f.agents[len(f.agents)-n:] {
 		names = append(names, a.Name)
 	}
-	return f.sched.RequestAdjustment(coord.ScaleIn, nil, names)
+	span := f.tr.StartSpan("worker.request_scale_in")
+	span.SetProc("fleet-sched")
+	span.AnnotateInt("remove", n)
+	defer span.End()
+	return f.sched.RequestAdjustmentTraced(
+		telemetry.ContextWithSpan(f.ctx, span), coord.ScaleIn, nil, names, span.Context())
 }
 
 // Step runs one training iteration: the lead worker coordinates with the
@@ -639,6 +711,7 @@ func (f *Fleet) Step() (float64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	span := f.tr.StartSpan("worker.step")
+	span.SetProc("fleet-lead")
 	span.AnnotateInt("iter", f.iter)
 	stepStart := f.clk.Now()
 	defer func() {
@@ -648,7 +721,7 @@ func (f *Fleet) Step() (float64, error) {
 	if err := f.sweepDeadLocked(); err != nil {
 		return 0, err
 	}
-	adj, ok, err := f.coordinator.Coordinate()
+	adj, ok, err := f.coordinator.CoordinateCtx(telemetry.ContextWithSpan(f.ctx, span))
 	if err != nil {
 		if errors.Is(err, transport.ErrClosed) || f.ctx.Err() != nil {
 			return 0, err
@@ -660,9 +733,19 @@ func (f *Fleet) Step() (float64, error) {
 		ok = false
 	}
 	if ok {
-		aspan := span.Child("worker.apply_adjustment")
+		// When the adjustment carries the scheduler request's trace, the
+		// apply span joins that cross-process tree (the request → report →
+		// coordinate → apply arc); otherwise it nests under this step.
+		var aspan *telemetry.Span
+		if adj.Trace.Valid() {
+			aspan = telemetry.StartRemote(f.tr, "worker.apply_adjustment", adj.Trace)
+			aspan.SetProc("fleet-lead")
+			aspan.AnnotateInt("iter", f.iter)
+		} else {
+			aspan = span.Child("worker.apply_adjustment")
+		}
 		aspan.Annotate("kind", adj.Kind.String())
-		err := f.applyAdjustment(adj)
+		err := f.applyAdjustment(adj, aspan)
 		if err != nil {
 			aspan.Annotate("error", err.Error())
 		}
@@ -697,8 +780,11 @@ func (f *Fleet) Step() (float64, error) {
 				n:     n,
 				lo:    shards[w].lo,
 				hi:    shards[w].hi,
+				iter:  f.iter,
 				lr:    lr,
 				group: f.group,
+				tr:    f.tr,
+				trace: span.Context(),
 			})
 		}()
 	}
@@ -763,7 +849,7 @@ func (f *Fleet) rebuildGroupLocked(n int) error {
 	return nil
 }
 
-func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
+func (f *Fleet) applyAdjustment(adj coord.Adjustment, aspan *telemetry.Span) error {
 	oldN := len(f.agents)
 	switch adj.Kind {
 	case coord.ScaleOut:
@@ -777,7 +863,10 @@ func (f *Fleet) applyAdjustment(adj coord.Adjustment) error {
 				return fmt.Errorf("worker: adjustment admits unknown agent %q", name)
 			}
 			delete(f.spawned, name)
-			if r := a.send(command{kind: installCmd, state: src.state}); r.err != nil {
+			// The install runs on the joining agent's own process track,
+			// parented under the apply span of the same trace.
+			if r := a.send(command{kind: installCmd, state: src.state,
+				tr: f.tr, trace: aspan.Context()}); r.err != nil {
 				return r.err
 			}
 			f.agents = append(f.agents, a)
@@ -859,6 +948,8 @@ func (f *Fleet) CrashWorker(name string) error {
 			f.cfg.Bus.Remove(name)
 			f.mWorkerCrashes.Inc()
 			f.lifeSpan.Event("worker-crash")
+			f.flight.RecordEvent("fleet-lead", "crash:"+name, f.clk.Now())
+			f.flight.DumpNow("worker-crash " + name)
 			return nil
 		}
 	}
@@ -940,6 +1031,8 @@ func (f *Fleet) CrashAM() (*coord.AM, error) {
 	f.am = nil
 	f.mAMCrashes.Inc()
 	f.lifeSpan.Event("am-crash")
+	f.flight.RecordEvent("fleet-am", "am-crash", f.clk.Now())
+	f.flight.DumpNow("am-crash")
 	return old, nil
 }
 
@@ -961,11 +1054,13 @@ func (f *Fleet) RecoverAM() error {
 	if err != nil {
 		return err
 	}
+	svc.SetTracer(f.tr)
 	f.am = am
 	f.amSvc = svc
 	f.amDown = false
 	f.mAMRecoveries.Inc()
 	f.lifeSpan.Event("am-recover")
+	f.flight.RecordEvent("fleet-am", "am-recover", f.clk.Now())
 	return nil
 }
 
