@@ -10,6 +10,7 @@
 //	elan-bench -json hotpath.json          # hot-path micro-benchmark report
 //	elan-bench -collective coll.json       # flat vs hierarchical allreduce report
 //	elan-bench -telemetry telem.json       # span + flight-recorder overhead report
+//	elan-bench -transport transport.json   # dial-per-call vs pooled TCP data-plane report
 package main
 
 import (
@@ -35,7 +36,16 @@ func main() {
 		"measure flat vs hierarchical allreduce in-process and simulate both under the analytic comm model; write the report to this JSON file")
 	telemOut := flag.String("telemetry", "",
 		"measure the tracing overhead (disabled/enabled spans, flight ring) and write the report to this JSON file")
+	transOut := flag.String("transport", "",
+		"measure the TCP data plane (dial-per-call vs pooled multiplexed client at 1/64/256 concurrent callers) and write the report to this JSON file")
 	flag.Parse()
+	if *transOut != "" {
+		if err := writeTransportJSON(*transOut, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *telemOut != "" {
 		if err := writeTelemetryJSON(*telemOut, *quick, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "elan-bench:", err)

@@ -11,12 +11,13 @@ import (
 
 // This file exposes the AM service over real TCP, demonstrating that the
 // coordination protocol is transport-independent: the same message kinds
-// (adjust.request, worker.report, worker.coord, am.state) flow over a
-// gob-framed TCP connection instead of the in-process bus. A scheduler
-// outside the training job's process — the deployment the paper describes —
-// talks to the AM this way. Clients dial per call, so they transparently
-// reconnect across AM restarts (the ZeroMQ property), and combined with the
-// AM state machine's persistence a restarted AM resumes where it stopped.
+// (adjust.request, worker.report, worker.coord, am.state) flow over
+// length-prefixed binary frames on pooled, multiplexed connections instead
+// of the in-process bus. A scheduler outside the training job's process —
+// the deployment the paper describes — talks to the AM this way. Pool
+// invalidation plus the retry policy's backoff makes AM restarts
+// transparent (the ZeroMQ property), and combined with the AM state
+// machine's persistence a restarted AM resumes where it stopped.
 
 // TCPService serves an AM over TCP.
 type TCPService struct {
@@ -90,12 +91,20 @@ func (s *TCPService) handle(m transport.Message) ([]byte, error) {
 	}
 }
 
-// TCPClient talks to a TCPService. Calls dial per request and ride out AM
-// restarts via the retry policy's exponential backoff; the client's parent
-// context bounds every call, giving reconnect loops a hard deadline.
+// TCPClient talks to a TCPService over a pooled, multiplexed
+// transport.Client: connections are dialed lazily, reused across calls,
+// and carry concurrent requests. AM restarts are still transparent — a
+// dead connection fails its in-flight calls with retryable transport
+// errors, the pool invalidates it, and the retry policy's exponential
+// backoff redials the new incarnation. Handler-level errors (including
+// the AM's own state-machine rejections) return immediately without
+// burning the retry budget, so non-idempotent service calls execute at
+// most once per TCPClient call. The client's parent context bounds every
+// call, giving reconnect loops a hard deadline. Call Close when done to
+// reclaim the pooled connections.
 type TCPClient struct {
 	ctx     context.Context
-	addr    string
+	client  *transport.Client
 	timeout time.Duration
 	policy  transport.RetryPolicy
 }
@@ -118,11 +127,24 @@ func NewTCPClientCtx(ctx context.Context, addr string, timeout time.Duration, po
 	if policy.Attempts <= 0 {
 		policy.Attempts = 5
 	}
-	return &TCPClient{ctx: ctx, addr: addr, timeout: timeout, policy: policy}
+	c := &TCPClient{
+		ctx:     ctx,
+		client:  transport.NewClient(addr, transport.ClientConfig{Timeout: timeout}),
+		timeout: timeout,
+		policy:  policy,
+	}
+	if ctx.Done() != nil {
+		context.AfterFunc(ctx, c.Close)
+	}
+	return c
 }
 
+// Close tears down the pooled connections and resolves in-flight calls
+// with transport.ErrClosed. Closing twice is safe.
+func (c *TCPClient) Close() { c.client.Close() }
+
 func (c *TCPClient) call(kind string, payload []byte) ([]byte, error) {
-	return transport.CallRetry(c.ctx, c.addr, kind, payload, c.timeout, c.policy)
+	return c.client.CallRetry(c.ctx, kind, payload, c.timeout, c.policy)
 }
 
 // RequestAdjustment invokes the service API over TCP.

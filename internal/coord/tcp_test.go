@@ -19,6 +19,7 @@ func TestTCPServiceFullAdjustment(t *testing.T) {
 	}
 	defer svc.Close()
 	client := NewTCPClient(svc.Addr)
+	defer client.Close()
 
 	if err := client.RequestAdjustment(ScaleOut, []string{"w5", "w6"}, nil); err != nil {
 		t.Fatalf("RequestAdjustment: %v", err)
@@ -59,6 +60,7 @@ func TestTCPServiceErrorsPropagate(t *testing.T) {
 	}
 	defer svc.Close()
 	client := NewTCPClient(svc.Addr)
+	defer client.Close()
 	err = client.ReportReady("stranger")
 	if err == nil || !strings.Contains(err.Error(), "state") {
 		t.Fatalf("stray report error = %v", err)
@@ -81,6 +83,7 @@ func TestTCPServiceSurvivesAMRestart(t *testing.T) {
 	}
 	addr := svc1.Addr
 	client := NewTCPClient(addr)
+	defer client.Close()
 	if err := client.RequestAdjustment(ScaleOut, []string{"w5", "w6"}, nil); err != nil {
 		t.Fatalf("RequestAdjustment: %v", err)
 	}

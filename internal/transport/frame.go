@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Framing for the TCP path: every message on the wire is one
+// length-prefixed frame — a 4-byte big-endian body length followed by the
+// body. Frames are the multiplexing unit: requests and responses from many
+// concurrent calls interleave on one connection and are matched back up by
+// the request ID inside the body (wire.go). Frame bodies are read into and
+// written from pooled buffers so the steady-state call path reuses storage
+// instead of allocating per message.
+
+const (
+	// frameHeaderLen is the byte length of the frame length prefix.
+	frameHeaderLen = 4
+	// MaxFrameBytes bounds a single frame body. A peer announcing a larger
+	// frame is treated as protocol corruption and the connection is torn
+	// down rather than letting a bad length prefix drive an enormous
+	// allocation.
+	MaxFrameBytes = 64 << 20
+)
+
+// ErrFrameTooLarge reports a frame whose announced body length exceeds
+// MaxFrameBytes. It is a transport-level (retryable) error: the connection
+// that produced it is invalid, not the request.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// framePool recycles frame bodies across calls. Buffers grow to fit the
+// largest frame they ever carry and are reused at that capacity, so a
+// steady-state workload settles into zero buffer churn (the
+// Muratam/isucon9q buffer-reuse pattern).
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+// readFrame reads one frame body into *bufp (growing its backing array
+// only when the body outgrows it) and returns the body slice, which
+// aliases *bufp's storage and is valid until the buffer is reused.
+func readFrame(r io.Reader, bufp *[]byte) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	buf := *bufp
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+		*bufp = buf
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return buf, nil
+}
+
+// writeFrame writes body as one frame under wmu. The length prefix and
+// body go out in a single Write so concurrent writers on a multiplexed
+// connection never interleave partial frames; wmu serializes the calls
+// themselves (net.Conn allows concurrent Write, but two frames built from
+// two buffers must not interleave at the io layer when a Write is split).
+// The frame is assembled in *bufp's storage, which must have
+// frameHeaderLen spare bytes reserved at the front by the encoder.
+func writeFrame(conn net.Conn, wmu *sync.Mutex, frame []byte) error {
+	if len(frame) < frameHeaderLen {
+		return errors.New("transport: internal: frame missing header room")
+	}
+	binary.BigEndian.PutUint32(frame[:frameHeaderLen], uint32(len(frame)-frameHeaderLen))
+	wmu.Lock()
+	_, err := conn.Write(frame)
+	wmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}

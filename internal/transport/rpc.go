@@ -2,8 +2,6 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
-	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -14,12 +12,17 @@ import (
 	"github.com/elan-sys/elan/internal/telemetry"
 )
 
-// This file implements the same request/reply protocol over real TCP using
-// encoding/gob, demonstrating that the coordination protocol is not tied to
-// the in-process bus. The scheduler's resource-adjustment service
-// (Section V-A, "Service API") is exposed this way in the integration tests
-// and examples. Clients dial per call, which makes reconnection after a
-// server restart automatic — the property the paper gets from ZeroMQ.
+// This file implements the request/reply protocol over real TCP,
+// demonstrating that the coordination protocol is not tied to the
+// in-process bus. The scheduler's resource-adjustment service (Section
+// V-A, "Service API") is exposed this way in the integration tests and
+// examples. The wire format is the length-prefixed binary framing of
+// frame.go/wire.go; requests multiplex over long-lived connections
+// (pool.go's Client) or one-shot dials (Call), and either way a server
+// restart is transparent to callers: broken connections surface retryable
+// transport errors, CallRetry redials, and the pooled client invalidates
+// and re-establishes its connections — the property the paper gets from
+// ZeroMQ.
 
 // TCP call defaults, named once and referenced everywhere.
 const (
@@ -36,38 +39,39 @@ const (
 	DefaultRetryMax = 500 * time.Millisecond
 )
 
-type rpcRequest struct {
-	ID      uint64
-	Kind    string
-	Payload []byte
-	// Trace carries the caller's span identity across the wire (gob-encoded
-	// with the rest of the request) so server-side spans join the caller's
-	// causal tree exactly as on the in-process bus.
-	Trace telemetry.TraceContext
+// serverConn is one accepted connection: reads are owned by the serveConn
+// loop, writes come from per-request handler goroutines and serialize on
+// wmu so concurrent responses never interleave frames.
+type serverConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
 }
 
-type rpcResponse struct {
-	ID      uint64
-	Payload []byte
-	Err     string
-}
-
-// Server serves the request/reply protocol on a TCP listener.
+// Server serves the request/reply protocol on a TCP listener. Requests
+// dispatch concurrently: the per-connection read loop hands each decoded
+// request to its own goroutine, so one slow handler no longer head-of-line
+// blocks every other call multiplexed on the connection, and a panicking
+// handler is recovered per request — it produces a CodeHandlerPanic
+// response and the connection keeps serving.
 type Server struct {
 	handler Handler
 
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[*serverConn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 	tr       telemetry.Tracer
 	proc     string
+
+	// Nil-safe instruments; SetMetrics replaces them.
+	mRequests *telemetry.Counter
+	mPanics   *telemetry.Counter
 }
 
 // NewServer creates a server dispatching to h.
 func NewServer(h Handler) *Server {
-	return &Server{handler: h, conns: make(map[net.Conn]struct{}), tr: telemetry.Nop{}}
+	return &Server{handler: h, conns: make(map[*serverConn]struct{}), tr: telemetry.Nop{}}
 }
 
 // SetTracer makes the server open a remote-child "transport.handle" span
@@ -77,6 +81,17 @@ func (s *Server) SetTracer(tr telemetry.Tracer, proc string) {
 	s.mu.Lock()
 	s.tr = telemetry.OrNop(tr)
 	s.proc = proc
+	s.mu.Unlock()
+}
+
+// SetMetrics wires the server's counters into reg:
+// transport_server_requests_total counts dispatched requests and
+// transport_handler_panics_total counts handler panics recovered per
+// request. A nil registry disables them at zero cost.
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	s.mRequests = reg.Counter("transport_server_requests_total")
+	s.mPanics = reg.Counter("transport_handler_panics_total")
 	s.mu.Unlock()
 }
 
@@ -107,68 +122,109 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		sc := &serverConn{conn: conn}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(sc)
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// serveConn is the per-connection read loop: it reads one frame at a time
+// into a pooled buffer and hands each request to its own goroutine. The
+// request goroutine owns the frame buffer (the decoded payload aliases
+// it) and returns it to the pool after the handler finishes.
+func (s *Server) serveConn(sc *serverConn) {
 	defer s.wg.Done()
 	defer func() {
-		_ = conn.Close()
+		_ = sc.conn.Close()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, sc)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
 	for {
-		var req rpcRequest
-		if err := dec.Decode(&req); err != nil {
+		bufp := getFrameBuf()
+		body, err := readFrame(sc.conn, bufp)
+		if err != nil {
+			putFrameBuf(bufp)
 			return
 		}
-		resp := rpcResponse{ID: req.ID}
-		s.mu.Lock()
-		tr, proc := s.tr, s.proc
-		s.mu.Unlock()
-		msg := Message{ID: req.ID, Kind: req.Kind, Payload: req.Payload, Trace: req.Trace}
-		hspan := telemetry.StartRemote(tr, "transport.handle", req.Trace)
-		if hspan != nil {
-			hspan.SetProc(proc)
-			hspan.Annotate("kind", req.Kind)
-			msg.Trace = hspan.Context()
-		}
-		payload, err := s.handler(msg)
+		id, kind, payload, tc, err := decodeRequest(body)
 		if err != nil {
-			hspan.Annotate("error", err.Error())
+			putFrameBuf(bufp)
+			return // protocol corruption: tear the connection down
 		}
-		hspan.End()
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Payload = payload
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer putFrameBuf(bufp)
+			s.serveRequest(sc, id, kind, payload, tc)
+		}()
 	}
+}
+
+// serveRequest runs the handler for one request and writes its response.
+func (s *Server) serveRequest(sc *serverConn, id uint64, kind string, payload []byte, tc telemetry.TraceContext) {
+	s.mu.Lock()
+	tr, proc := s.tr, s.proc
+	mReq, mPanics := s.mRequests, s.mPanics
+	s.mu.Unlock()
+	mReq.Inc()
+	msg := Message{ID: id, Kind: kind, Payload: payload, Trace: tc}
+	hspan := telemetry.StartRemote(tr, "transport.handle", tc)
+	if hspan != nil {
+		hspan.SetProc(proc)
+		hspan.Annotate("kind", kind)
+		msg.Trace = hspan.Context()
+	}
+	out, err := s.dispatch(msg, mPanics)
+	if err != nil {
+		hspan.Annotate("error", err.Error())
+	}
+	hspan.End()
+	respp := getFrameBuf()
+	code := codeOf(err)
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	*respp = encodeResponse((*respp)[:0], id, code, errMsg, out)
+	_ = writeFrame(sc.conn, &sc.wmu, *respp) // write failure ends the conn via the read loop
+	putFrameBuf(respp)
+}
+
+// dispatch runs the handler with per-request panic containment: a
+// panicking handler yields an ErrHandlerPanic error (CodeHandlerPanic on
+// the wire), increments transport_handler_panics_total, and leaves the
+// connection — and every other in-flight request on it — serving.
+func (s *Server) dispatch(msg Message, panics *telemetry.Counter) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics.Inc()
+			out, err = nil, fmt.Errorf("%w: %s %v", ErrHandlerPanic, msg.Kind, r)
+		}
+	}()
+	if s.handler == nil {
+		return nil, nil
+	}
+	return s.handler(msg)
 }
 
 // Close stops accepting and tears down open connections, waiting for the
-// serving goroutines to exit.
+// serving goroutines — including in-flight per-request handlers — to exit.
+// In-flight pooled callers observe the torn connection as a retryable
+// transport error, never a hang.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
-	conns := make([]net.Conn, 0, len(s.conns))
+	conns := make([]*serverConn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
@@ -177,7 +233,7 @@ func (s *Server) Close() {
 		_ = ln.Close()
 	}
 	for _, c := range conns {
-		_ = c.Close()
+		_ = c.conn.Close()
 	}
 	s.wg.Wait()
 }
@@ -188,6 +244,12 @@ func (s *Server) Close() {
 // aborts the call at any point, including mid-read. TCP I/O deadlines are
 // inherently wall-clock, so Call always stamps them from the wall clock —
 // only the retry backoff (CallRetry) runs on an injectable clock.
+//
+// Call is the zero-state path: no pool, no connection reuse. Steady-state
+// callers should hold a Client (pool.go), which multiplexes requests over
+// pooled connections and is benchmarked at ≥5× Call's throughput under
+// concurrency; Call remains for one-shot probes and as the simplest
+// illustration of the wire protocol.
 func Call(ctx context.Context, addr, kind string, payload []byte, timeout time.Duration) ([]byte, error) {
 	if timeout <= 0 {
 		timeout = DefaultCallTimeout
@@ -208,24 +270,39 @@ func Call(ctx context.Context, addr, kind string, payload []byte, timeout time.D
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, fmt.Errorf("transport: set deadline: %w", err)
 	}
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	req := rpcRequest{ID: 1, Kind: kind, Payload: payload,
-		Trace: telemetry.SpanFromContext(ctx).Context()}
-	if err := enc.Encode(&req); err != nil {
-		return nil, fmt.Errorf("transport: encode request: %w", err)
+	var wmu sync.Mutex
+	reqp := getFrameBuf()
+	frame, err := encodeRequest((*reqp)[:0], 1, kind, payload,
+		telemetry.SpanFromContext(ctx).Context())
+	if err != nil {
+		putFrameBuf(reqp)
+		return nil, err
 	}
-	var resp rpcResponse
-	if err := dec.Decode(&resp); err != nil {
+	*reqp = frame
+	err = writeFrame(conn, &wmu, frame)
+	putFrameBuf(reqp)
+	if err != nil {
+		return nil, err
+	}
+	respp := getFrameBuf()
+	defer putFrameBuf(respp)
+	body, err := readFrame(conn, respp)
+	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
-		return nil, fmt.Errorf("transport: decode response: %w", err)
+		return nil, fmt.Errorf("transport: read response: %w", err)
 	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+	_, code, errMsg, respPayload, err := decodeResponse(body)
+	if err != nil {
+		return nil, err
 	}
-	return resp.Payload, nil
+	if rerr := responseError(code, errMsg); rerr != nil {
+		return nil, rerr
+	}
+	out := make([]byte, len(respPayload))
+	copy(out, respPayload)
+	return out, nil
 }
 
 // RetryPolicy shapes CallRetry's exponential backoff. The zero value is
@@ -295,12 +372,24 @@ func (p RetryPolicy) Schedule() []time.Duration {
 	return delays
 }
 
-// CallRetry is Call with exponential-backoff resend semantics: it retries
-// up to policy.Attempts times, sleeping the policy's jittered schedule
-// between attempts, which rides out a server restart in progress without
-// hammering the endpoint. Cancelling ctx aborts both in-flight calls and
-// backoff sleeps.
+// CallRetry is Call with exponential-backoff resend semantics for
+// transport-level failures: it retries up to policy.Attempts times,
+// sleeping the policy's jittered schedule between attempts, which rides
+// out a server restart in progress without hammering the endpoint.
+// Handler-level errors (Retryable reports false) return immediately — a
+// handler that ran and failed must not be re-executed by the transport,
+// because the TCP path has no incarnation dedup to absorb the repeat.
+// Cancelling ctx aborts both in-flight calls and backoff sleeps.
 func CallRetry(ctx context.Context, addr, kind string, payload []byte, timeout time.Duration, policy RetryPolicy) ([]byte, error) {
+	return callRetry(ctx, policy, func() ([]byte, error) {
+		return Call(ctx, addr, kind, payload, timeout)
+	})
+}
+
+// callRetry is the shared retry loop behind CallRetry and
+// Client.CallRetry: transport-level errors burn attempts through the
+// backoff schedule, terminal errors return at once.
+func callRetry(ctx context.Context, policy RetryPolicy, call func() ([]byte, error)) ([]byte, error) {
 	policy = policy.normalized()
 	delays := policy.Schedule()
 	var lastErr error
@@ -310,11 +399,14 @@ func CallRetry(ctx context.Context, addr, kind string, payload []byte, timeout t
 				return nil, fmt.Errorf("transport: retry cancelled after %d attempts: %w", i, err)
 			}
 		}
-		out, err := Call(ctx, addr, kind, payload, timeout)
+		out, err := call()
 		if err == nil {
 			return out, nil
 		}
 		if ctx.Err() != nil {
+			return nil, err
+		}
+		if !Retryable(err) {
 			return nil, err
 		}
 		lastErr = err

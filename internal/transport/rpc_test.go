@@ -2,11 +2,15 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
 )
 
 func TestRetryScheduleDeterministic(t *testing.T) {
@@ -114,5 +118,147 @@ func TestCallRetryCancelDuringBackoff(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("cancelled CallRetry never returned")
+	}
+}
+
+// TestCallRetryDoesNotRetryHandlerErrors is the regression for the
+// retry-identity bug: CallRetry used to push deterministic application
+// errors through the full backoff budget, re-executing non-idempotent
+// handlers. A handler that runs and fails must run exactly once.
+func TestCallRetryDoesNotRetryHandlerErrors(t *testing.T) {
+	guardGoroutines(t)
+	var invocations atomic.Int64
+	srv := NewServer(func(m Message) ([]byte, error) {
+		invocations.Add(1)
+		return nil, errors.New("charge already applied") // non-idempotent: a retry would double-charge
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	sim := clock.NewSim(time.Unix(0, 0))
+	stop := sim.AutoAdvance(0)
+	defer stop()
+	policy := RetryPolicy{Attempts: 6, Base: 10 * time.Millisecond, Clock: sim}
+	_, err = CallRetry(context.Background(), addr, "charge", nil, time.Second, policy)
+	if err == nil {
+		t.Fatal("handler error did not propagate")
+	}
+	if !IsHandlerError(err) {
+		t.Fatalf("error lost handler identity: %v", err)
+	}
+	if got := invocations.Load(); got != 1 {
+		t.Fatalf("non-idempotent handler executed %d times under CallRetry, want exactly 1", got)
+	}
+	if elapsed := sim.Elapsed(); elapsed != 0 {
+		t.Fatalf("terminal error burned %v of backoff", elapsed)
+	}
+
+	// The pooled client obeys the same contract.
+	invocations.Store(0)
+	client := NewClient(addr, ClientConfig{})
+	defer client.Close()
+	if _, err := client.CallRetry(context.Background(), "charge", nil, time.Second, policy); err == nil {
+		t.Fatal("pooled handler error did not propagate")
+	}
+	if got := invocations.Load(); got != 1 {
+		t.Fatalf("pooled CallRetry executed handler %d times, want exactly 1", got)
+	}
+}
+
+// TestCallRetryStillRetriesTransportErrors pins the other half of the
+// contract: dial failures keep burning the full attempt budget.
+func TestCallRetryStillRetriesTransportErrors(t *testing.T) {
+	sim := clock.NewSim(time.Unix(0, 0))
+	stop := sim.AutoAdvance(0)
+	defer stop()
+	policy := RetryPolicy{Attempts: 4, Base: 10 * time.Millisecond, Clock: sim}
+	var want time.Duration
+	for _, d := range policy.Schedule() {
+		want += d
+	}
+	_, err := CallRetry(context.Background(), "127.0.0.1:1", "x", nil, 100*time.Millisecond, policy)
+	if err == nil {
+		t.Fatal("CallRetry to dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "4 attempts failed") {
+		t.Fatalf("dial failure did not burn the budget: %v", err)
+	}
+	if got := sim.Elapsed(); got != want {
+		t.Fatalf("backoff elapsed %v, want schedule sum %v", got, want)
+	}
+}
+
+// TestServerRecoversHandlerPanics: a panicking handler must produce a
+// typed CodeHandlerPanic response, bump transport_handler_panics_total,
+// and leave both the connection and the server serving.
+func TestServerRecoversHandlerPanics(t *testing.T) {
+	guardGoroutines(t)
+	srv := NewServer(func(m Message) ([]byte, error) {
+		if m.Kind == "boom" {
+			panic("nil map write in handler")
+		}
+		return []byte("ok"), nil
+	})
+	reg := telemetry.NewRegistry()
+	srv.SetMetrics(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	client := NewClient(addr, ClientConfig{Conns: 1})
+	defer client.Close()
+
+	_, err = client.Call(context.Background(), "boom", nil, time.Second)
+	if !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("panic response = %v, want ErrHandlerPanic identity", err)
+	}
+	if Retryable(err) {
+		t.Fatal("a handler panic must be terminal under CallRetry")
+	}
+	if !strings.Contains(err.Error(), "nil map write") {
+		t.Fatalf("panic message lost: %v", err)
+	}
+	if got := reg.Counter("transport_handler_panics_total").Value(); got != 1 {
+		t.Fatalf("transport_handler_panics_total = %d, want 1", got)
+	}
+	// The same connection keeps serving after the panic.
+	out, err := client.Call(context.Background(), "fine", nil, time.Second)
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("call after panic = %q, %v", out, err)
+	}
+	// And the one-shot path sees the same typed error.
+	if _, err := Call(context.Background(), addr, "boom", nil, time.Second); !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("one-shot panic response = %v, want ErrHandlerPanic identity", err)
+	}
+	if got := reg.Counter("transport_handler_panics_total").Value(); got != 2 {
+		t.Fatalf("transport_handler_panics_total = %d, want 2", got)
+	}
+}
+
+// TestOneShotCallRoundTrip covers the dial-per-call path on the framed
+// protocol, including payload isolation from the pooled frame buffers.
+func TestOneShotCallRoundTrip(t *testing.T) {
+	guardGoroutines(t)
+	srv := NewServer(func(m Message) ([]byte, error) {
+		return append([]byte("got:"), m.Payload...), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	out1, err := Call(context.Background(), addr, "a", []byte("one"), time.Second)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	out2, err := Call(context.Background(), addr, "b", []byte("two"), time.Second)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(out1) != "got:one" || string(out2) != "got:two" {
+		t.Fatalf("replies = %q, %q (buffer aliasing?)", out1, out2)
 	}
 }
