@@ -1,32 +1,118 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestWholeTreeClean(t *testing.T) {
 	// The final tree must satisfy every invariant: this is the same run
 	// CI performs, kept under `go test` so a violation fails locally too.
-	if code := run([]string{"../../..."}); code != 0 {
-		t.Fatalf("elan-vet over the module = exit %d, want 0", code)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"../../..."}, &out, &errOut); code != 0 {
+		t.Fatalf("elan-vet over the module = exit %d, want 0\n%s%s", code, out.String(), errOut.String())
 	}
 }
 
 func TestFindingsExitNonZero(t *testing.T) {
 	// Pointing directly at analyzer testdata (excluded from ./... walks)
 	// must surface its intentional violations.
-	code := run([]string{"-analyzer", "clockpolicy", "../../internal/analysis/testdata/src/clockpolicy"})
+	code := run([]string{"-analyzer", "clockpolicy", "../../internal/analysis/testdata/src/clockpolicy"}, io.Discard, io.Discard)
 	if code != 1 {
 		t.Fatalf("elan-vet over violating testdata = exit %d, want 1", code)
 	}
 }
 
 func TestUnknownAnalyzer(t *testing.T) {
-	if code := run([]string{"-analyzer", "nope", "../../..."}); code != 2 {
+	if code := run([]string{"-analyzer", "nope", "../../..."}, io.Discard, io.Discard); code != 2 {
 		t.Fatalf("unknown analyzer = exit %d, want 2", code)
 	}
 }
 
 func TestList(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	if code := run([]string{"-list"}, io.Discard, io.Discard); code != 0 {
 		t.Fatalf("-list = exit %d, want 0", code)
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-json", "-analyzer", "erridentity", "../../internal/analysis/testdata/src/erridentity"}, &out, io.Discard)
+	if code != 1 {
+		t.Fatalf("-json over violating testdata = exit %d, want 1", code)
+	}
+	var rows []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("-json output is not parseable JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) == 0 {
+		t.Fatal("-json output is empty despite exit 1")
+	}
+	for _, r := range rows {
+		if r.File == "" || r.Line == 0 || r.Col == 0 || r.Analyzer != "erridentity" || r.Message == "" {
+			t.Fatalf("incomplete diagnostic row: %+v", r)
+		}
+	}
+	// Field order is a stable interface for jq pipelines: file, line,
+	// col, analyzer, message.
+	text := out.String()
+	order := []string{`"file"`, `"line"`, `"col"`, `"analyzer"`, `"message"`}
+	last := -1
+	for _, key := range order {
+		i := strings.Index(text, key)
+		if i < 0 || i < last {
+			t.Fatalf("JSON field order broken: want %v in order\n%s", order, text)
+		}
+		last = i
+	}
+}
+
+func TestJSONCleanPrintsEmptyArray(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-json", "../../internal/analysis/testdata/src/clean"}, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("-json over clean testdata = exit %d, want 0\n%s", code, out.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want [] (never null)", got)
+	}
+}
+
+func TestReportAllows(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-report-allows", "../../internal/analysis/testdata/src/hotpathalloc"}, &out, io.Discard)
+	if code != 0 {
+		t.Fatalf("-report-allows = exit %d, want 0", code)
+	}
+	var rows []struct {
+		File          string   `json:"file"`
+		Line          int      `json:"line"`
+		Analyzers     []string `json:"analyzers"`
+		Justification string   `json:"justification"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("-report-allows output is not parseable JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d waivers, want the 1 in hotpathalloc testdata:\n%s", len(rows), out.String())
+	}
+	w := rows[0]
+	if len(w.Analyzers) != 1 || w.Analyzers[0] != "hotpathalloc" {
+		t.Fatalf("waiver analyzers = %v, want [hotpathalloc]", w.Analyzers)
+	}
+	if w.Justification == "" || !strings.Contains(w.Justification, "testdata") {
+		t.Fatalf("waiver justification not captured: %+v", w)
+	}
+	if w.Line == 0 || !strings.HasSuffix(w.File, "a.go") {
+		t.Fatalf("waiver position not captured: %+v", w)
 	}
 }

@@ -133,8 +133,14 @@ func (p *Pass) ImportedPath(file *File, id *ast.Ident) string {
 	return ""
 }
 
-// allowPragma matches `//elan:vet-allow <name>` suppression comments.
-var allowPragma = regexp.MustCompile(`//elan:vet-allow\s+([a-z0-9_,]+)`)
+// allowPragma matches `//elan:vet-allow <name>[,<name>...] — <justification>`
+// suppression comments. The analyzer list is mandatory; the em-dash-separated
+// justification is captured so the waiver inventory (CollectAllows,
+// `elan-vet -report-allows`) can audit it — CI rejects waivers whose
+// justification is empty.
+// Like Go's own build pragmas, the marker must start the comment — prose
+// that merely quotes the syntax does not waive anything.
+var allowPragma = regexp.MustCompile(`^//elan:vet-allow\s+([a-z0-9_,]+)(?:\s*—\s*(.*\S))?`)
 
 // suppressed reports whether a diagnostic from the named analyzer is waived
 // by a pragma on the same line of the same file.
@@ -161,6 +167,48 @@ func suppressed(pkg *Package, d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// Allow is one `//elan:vet-allow` waiver pragma found in a package: which
+// analyzers it silences, where, and why. An empty Justification means the
+// pragma has no `— why` clause and should be rejected by CI.
+type Allow struct {
+	Pos           token.Position
+	Analyzers     []string
+	Justification string
+}
+
+// CollectAllows inventories every waiver pragma in pkgs, sorted by file then
+// line. Waivers are deliberate, reviewable artifacts; surfacing them as a
+// single list (`elan-vet -report-allows`) keeps suppressions from rotting
+// silently in comment trivia.
+func CollectAllows(pkgs []*Package) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					m := allowPragma.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					out = append(out, Allow{
+						Pos:           pkg.Fset.Position(c.Pos()),
+						Analyzers:     strings.Split(m[1], ","),
+						Justification: strings.TrimSpace(m[2]),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // Run executes each analyzer over each package and returns the surviving

@@ -16,7 +16,10 @@ import (
 	"github.com/elan-sys/elan/internal/analysis"
 )
 
-var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+// wantRe accepts both interpreted (`// want "..."`) and raw
+// (// want `...`) annotation strings; raw strings keep regexp
+// metacharacters like \( readable.
+var wantRe = regexp.MustCompile("// want (\".*\"|`.*`)\\s*$")
 
 // expectation is one `// want` annotation.
 type expectation struct {

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc turns the runtime AllocsPerRun guards into compile-time
+// enforcement: a function whose doc comment carries the line
+//
+//	//elan:hotpath
+//
+// declares itself part of the zero-allocation steady state (DESIGN §9) —
+// the tensor *Into kernels, the ddp reducer step, the flight-recorder
+// record path, the frame read/write path — and must contain no
+// alloc-inducing constructs:
+//
+//   - make, new
+//   - heap composite literals: &T{...}, slice literals, map literals
+//     (plain value literals like chunkMsg{...} stay on the stack and are
+//     allowed)
+//   - append whose destination does not derive from a parameter or
+//     receiver (growing caller-owned, pre-sized storage is the sanctioned
+//     amortized-zero pattern; growing a fresh local is an allocation)
+//   - function literals (closures allocate when they capture)
+//   - go statements (a goroutine is an allocation; hot paths dispatch to
+//     resident helpers instead)
+//   - any fmt.* call (fmt boxes every operand)
+//   - string concatenation and string(...)/[]byte(...) conversions
+//   - explicit interface boxing via any(...)/interface{}(...) conversions
+//
+// Cold sub-paths inside a hot function — the first-call make that primes
+// an arena, an error return that formats a message — are waived line by
+// line with a justified //elan:vet-allow hotpathalloc pragma, which keeps
+// every deviation from the zero-alloc contract auditable via
+// elan-vet -report-allows. Diagnostics name the construct precisely so
+// the fix (or the waiver justification) writes itself.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //elan:hotpath must contain no alloc-inducing " +
+		"constructs (make/new/heap literals/append-to-local/closures/fmt/string concat)",
+	Run: runHotPathAlloc,
+}
+
+// hotpathMarker is the annotation line inside a function's doc comment.
+const hotpathMarker = "//elan:hotpath"
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			hp := &hotPathScan{pass: pass, file: f, fd: fd}
+			hp.check(fd.Body)
+		}
+	}
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// marker.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+type hotPathScan struct {
+	pass *Pass
+	file *File
+	fd   *ast.FuncDecl
+}
+
+// paramObjs collects the objects of parameters and receivers; appends
+// into storage reachable from these are the sanctioned pattern.
+func (hp *hotPathScan) paramObjs() map[*ast.Object]bool {
+	out := map[*ast.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			for _, name := range fld.Names {
+				if name.Obj != nil {
+					out[name.Obj] = true
+				}
+			}
+		}
+	}
+	add(hp.fd.Recv)
+	add(hp.fd.Type.Params)
+	add(hp.fd.Type.Results)
+	return out
+}
+
+func (hp *hotPathScan) check(body *ast.BlockStmt) {
+	params := hp.paramObjs()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			hp.pass.Reportf(n.Pos(), "hot path allocates: function literal (closures allocate when they capture); dispatch to a resident helper")
+			return false // the literal body is cold by construction
+		case *ast.GoStmt:
+			hp.pass.Reportf(n.Pos(), "hot path allocates: go statement spawns a goroutine; use a resident worker")
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					hp.pass.Reportf(n.Pos(), "hot path allocates: &composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch n.Type.(type) {
+			case *ast.ArrayType:
+				if at := n.Type.(*ast.ArrayType); at.Len == nil {
+					hp.pass.Reportf(n.Pos(), "hot path allocates: slice literal")
+				}
+			case *ast.MapType:
+				hp.pass.Reportf(n.Pos(), "hot path allocates: map literal")
+			}
+		case *ast.CallExpr:
+			hp.call(n, params)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && hp.isString(n.X, n.Y) {
+				hp.pass.Reportf(n.OpPos, "hot path allocates: string concatenation")
+			}
+		}
+		return true
+	})
+}
+
+func (hp *hotPathScan) call(call *ast.CallExpr, params map[*ast.Object]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			hp.pass.Reportf(call.Pos(), "hot path allocates: make")
+		case "new":
+			hp.pass.Reportf(call.Pos(), "hot path allocates: new")
+		case "append":
+			if len(call.Args) > 0 && !hp.paramDerived(call.Args[0], params) {
+				hp.pass.Reportf(call.Pos(), "hot path allocates: append to a non-parameter slice grows fresh storage; append into caller-owned, pre-sized buffers")
+			}
+		case "string":
+			hp.pass.Reportf(call.Pos(), "hot path allocates: string(...) conversion copies")
+		case "any":
+			hp.pass.Reportf(call.Pos(), "hot path allocates: any(...) boxes its operand")
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if path := hp.pass.ImportedPath(hp.file, id); path == "fmt" {
+				hp.pass.Reportf(call.Pos(), "hot path allocates: fmt.%s boxes every operand", fun.Sel.Name)
+			}
+		}
+	case *ast.ParenExpr:
+		if _, ok := fun.X.(*ast.InterfaceType); ok {
+			hp.pass.Reportf(call.Pos(), "hot path allocates: conversion to interface type boxes its operand")
+		}
+	case *ast.ArrayType:
+		// []byte(s) / []rune(s) conversions copy.
+		if fun.Len == nil {
+			hp.pass.Reportf(call.Pos(), "hot path allocates: slice conversion copies")
+		}
+	}
+}
+
+// paramDerived reports whether the expression's root identifier is a
+// parameter or receiver (s.buf, dst.Data[i:], *bufp all derive).
+func (hp *hotPathScan) paramDerived(e ast.Expr, params map[*ast.Object]bool) bool {
+	id := rootIdent(e)
+	return id != nil && id.Obj != nil && params[id.Obj]
+}
+
+// isString reports whether either operand is provably a string: a string
+// literal syntactically, or string-typed per the package's type info.
+func (hp *hotPathScan) isString(exprs ...ast.Expr) bool {
+	for _, e := range exprs {
+		if bl, ok := e.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+			return true
+		}
+		if hp.pass.Info != nil {
+			if tv, ok := hp.pass.Info.Types[e]; ok && tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -7,9 +7,13 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		ClockPolicy,
 		CtxBlocking,
+		ErrIdentity,
 		GlobalRand,
 		GoroutineFatal,
+		HotPathAlloc,
 		LockHeld,
+		PoolPair,
+		SpanEnd,
 	}
 }
 

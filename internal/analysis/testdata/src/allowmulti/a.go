@@ -1,0 +1,26 @@
+// Package allowmulti exercises the comma form of the waiver pragma: one
+// `//elan:vet-allow a,b — why` comment silences diagnostics from several
+// analyzers on the same line.
+package allowmulti
+
+import (
+	"fmt"
+	"time"
+)
+
+// hotTimestamp trips two analyzers on one line — clockpolicy (time.Now
+// outside the clock substrate) and hotpathalloc (fmt.Sprintf in a hot
+// path) — and waives both with a single comma-form pragma.
+//
+//elan:hotpath
+func hotTimestamp() string {
+	return fmt.Sprintf("%d", time.Now().UnixNano()) //elan:vet-allow clockpolicy,hotpathalloc — testdata: comma waiver form covers both analyzers
+}
+
+// unwaivedTimestamp is the control: the same double violation without a
+// pragma must surface both diagnostics.
+//
+//elan:hotpath
+func unwaivedTimestamp() string {
+	return fmt.Sprintf("%d", time.Now().UnixNano())
+}

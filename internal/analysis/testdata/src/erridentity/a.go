@@ -1,0 +1,63 @@
+// Package erridentity exercises the sentinel-identity analyzer.
+package erridentity
+
+import "errors"
+
+var ErrClosed = errors.New("closed")
+var ErrStopped = errors.New("stopped")
+var errInternal = errors.New("internal") // unexported: out of contract
+
+type fakePkg struct{ ErrRemote error }
+
+func do() error { return ErrClosed }
+
+func rawEquality() bool {
+	err := do()
+	return err == ErrClosed // want `sentinel compared with ==`
+}
+
+func rawInequality() {
+	if err := do(); err != ErrStopped { // want `sentinel compared with !=`
+		_ = err
+	}
+}
+
+func qualifiedSentinel(tp struct{ ErrTimeout error }) {
+	err := do()
+	if err == tp.ErrTimeout { // want `sentinel compared with ==`
+		return
+	}
+}
+
+func switchIdentity() string {
+	switch do() {
+	case ErrClosed: // want `sentinel matched by switch-case identity`
+		return "closed"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// errorsIsIsTheContract: the sanctioned form.
+func errorsIsIsTheContract() bool {
+	err := do()
+	return errors.Is(err, ErrClosed)
+}
+
+// nilChecksAreFine: nil is not a sentinel.
+func nilChecksAreFine() bool {
+	err := do()
+	return err == nil || err != nil
+}
+
+// unexportedIsOutOfScope: the contract covers the exported API surface.
+func unexportedIsOutOfScope() bool {
+	return do() == errInternal
+}
+
+// waived: exact-identity assertions must say why.
+func waived() bool {
+	err := do()
+	return err == ErrClosed //elan:vet-allow erridentity — testdata: demonstrates the waiver pragma
+}

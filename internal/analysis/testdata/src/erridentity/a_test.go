@@ -1,0 +1,11 @@
+// Test files are inside the contract: the PR-8 wire-identity work exists
+// precisely so tests (the contract consumers copy) can use errors.Is.
+package erridentity
+
+import "testing"
+
+func TestSentinelInTest(t *testing.T) {
+	if err := do(); err != ErrClosed { // want `sentinel compared with !=`
+		t.Fatal(err)
+	}
+}

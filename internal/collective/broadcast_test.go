@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -82,7 +83,7 @@ func TestBroadcastCloseUnblocks(t *testing.T) {
 		done <- g.Broadcast(1, 0, make([]float64, 8))
 	}()
 	g.Close()
-	if err := <-done; err != ErrClosed {
+	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

@@ -52,6 +52,8 @@ type rankScratch struct {
 // first use (and re-sized only if a later allreduce needs larger chunks);
 // migrated buffers from other ranks are interchangeable because every rank
 // primes to the same maxChunk.
+//
+//elan:hotpath
 func (s *rankScratch) ensure(maxChunk int) {
 	if s.capPer >= maxChunk {
 		return
@@ -60,13 +62,15 @@ func (s *rankScratch) ensure(maxChunk int) {
 		s.free[i] = nil
 	}
 	s.free = s.free[:0]
-	s.free = append(s.free, make([]float64, maxChunk), make([]float64, maxChunk))
+	s.free = append(s.free, make([]float64, maxChunk), make([]float64, maxChunk)) //elan:vet-allow hotpathalloc — first-use workspace priming; steady state reuses it
 	s.capPer = maxChunk
 }
 
 // get withdraws a buffer of length need, allocating only if the arena was
 // drained by a prior error path. Undersized buffers (migrants primed before
 // a re-size) are dropped rather than returned.
+//
+//elan:hotpath
 func (s *rankScratch) get(need int) []float64 {
 	for len(s.free) > 0 {
 		b := s.free[len(s.free)-1]
@@ -76,10 +80,12 @@ func (s *rankScratch) get(need int) []float64 {
 			return b[:need]
 		}
 	}
-	return make([]float64, need)
+	return make([]float64, need) //elan:vet-allow hotpathalloc — refill after the arena was drained by a peer error path; balanced steady state never hits it
 }
 
 // put deposits a buffer received from a peer.
+//
+//elan:hotpath
 func (s *rankScratch) put(b []float64) {
 	s.free = append(s.free, b)
 }
@@ -251,6 +257,8 @@ func (g *Group) Close() {
 }
 
 // sendTo delivers msg on the directed edge from -> to.
+//
+//elan:hotpath
 func (g *Group) sendTo(from, to int, msg chunkMsg) error {
 	select {
 	case g.pair[from][to] <- msg:
@@ -261,6 +269,8 @@ func (g *Group) sendTo(from, to int, msg chunkMsg) error {
 }
 
 // recvFrom receives the next message on the directed edge from -> to.
+//
+//elan:hotpath
 func (g *Group) recvFrom(from, to int) (chunkMsg, error) {
 	select {
 	case m := <-g.pair[from][to]:
@@ -270,10 +280,12 @@ func (g *Group) recvFrom(from, to int) (chunkMsg, error) {
 	}
 }
 
+//elan:hotpath
 func (g *Group) send(from int, msg chunkMsg) error {
 	return g.sendTo(from, (from+1)%g.n, msg)
 }
 
+//elan:hotpath
 func (g *Group) recv(to int) (chunkMsg, error) {
 	return g.recvFrom((to-1+g.n)%g.n, to)
 }
@@ -283,6 +295,8 @@ func (g *Group) recv(to int) (chunkMsg, error) {
 // global sum. rank identifies the caller in [0, n). A group that never had
 // SetTelemetry attached runs the bare engine with zero instrumentation cost
 // and zero steady-state allocations.
+//
+//elan:hotpath
 func (g *Group) AllReduce(rank int, vec []float64) error {
 	return g.allReduceTagged(telemetry.TraceContext{}, rank, vec, -1)
 }
@@ -339,9 +353,11 @@ func (g *Group) allReduceTagged(parent telemetry.TraceContext, rank int, vec []f
 }
 
 // reduce dispatches to the engine matching the group's topology.
+//
+//elan:hotpath
 func (g *Group) reduce(rank int, vec []float64) error {
 	if rank < 0 || rank >= g.n {
-		return fmt.Errorf("collective: rank %d out of [0, %d)", rank, g.n)
+		return fmt.Errorf("collective: rank %d out of [0, %d)", rank, g.n) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 	}
 	if g.n == 1 {
 		return nil
@@ -357,6 +373,8 @@ func (g *Group) reduce(rank int, vec []float64) error {
 // instead of fresh allocations: the send transfers buffer ownership to the
 // successor rank and each receive deposits the predecessor's buffer for
 // reuse.
+//
+//elan:hotpath
 func (g *Group) flatAllReduce(rank int, vec []float64) error {
 	g.scratch[rank].ensure(ceilDiv(len(vec), g.n))
 	if err := g.ringReduceScatter(g.allRanks, rank, vec); err != nil {
@@ -372,6 +390,8 @@ func (g *Group) flatAllReduce(rank int, vec []float64) error {
 // predecessor, accumulating into it. On return, position p holds the fully
 // reduced chunk (p+1) mod gn; chunk c's value is the left fold of the
 // members' values in ascending position order starting at position c.
+//
+//elan:hotpath
 func (g *Group) ringReduceScatter(members []int, pos int, vec []float64) error {
 	gn := len(members)
 	me := members[pos]
@@ -392,7 +412,7 @@ func (g *Group) ringReduceScatter(members []int, pos int, vec []float64) error {
 		}
 		lo, hi = bounds(len(vec), gn, m.idx)
 		if hi-lo != len(m.data) {
-			return fmt.Errorf("collective: rank %d got chunk %d of %d values, want %d (vector length mismatch across ranks?)",
+			return fmt.Errorf("collective: rank %d got chunk %d of %d values, want %d (vector length mismatch across ranks?)", //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 				me, m.idx, len(m.data), hi-lo)
 		}
 		for i, v := range m.data {
@@ -409,6 +429,8 @@ func (g *Group) ringReduceScatter(members []int, pos int, vec []float64) error {
 // chunk (p+1) mod gn. At step s, position p sends chunk (p+1-s) mod gn and
 // receives chunk (p-s) mod gn, overwriting it; after gn-1 steps every
 // member holds every chunk.
+//
+//elan:hotpath
 func (g *Group) ringAllGather(members []int, pos int, vec []float64) error {
 	gn := len(members)
 	me := members[pos]
@@ -429,7 +451,7 @@ func (g *Group) ringAllGather(members []int, pos int, vec []float64) error {
 		}
 		lo, hi = bounds(len(vec), gn, m.idx)
 		if hi-lo != len(m.data) {
-			return fmt.Errorf("collective: rank %d allgather chunk %d size mismatch", me, m.idx)
+			return fmt.Errorf("collective: rank %d allgather chunk %d size mismatch", me, m.idx) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 		}
 		copy(vec[lo:hi], m.data)
 		sc.put(m.data)

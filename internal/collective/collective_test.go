@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -182,11 +183,11 @@ func TestCloseUnblocks(t *testing.T) {
 		done <- g.AllReduce(0, []float64{1, 2})
 	}()
 	g.Close()
-	if err := <-done; err != ErrClosed {
+	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	// Barrier after close fails immediately.
-	if err := g.Barrier(); err != ErrClosed {
+	if err := g.Barrier(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Barrier after close = %v, want ErrClosed", err)
 	}
 }
@@ -199,7 +200,7 @@ func TestCloseUnblocksBarrier(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- g.Barrier() }()
 	g.Close()
-	if err := <-done; err != ErrClosed {
+	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

@@ -36,6 +36,8 @@ import "fmt"
 // ownership-transfer protocol of rankScratch; every stage's withdrawals
 // are balanced by deposits, so the hierarchical path is allocation-free at
 // steady state.
+//
+//elan:hotpath
 func (g *Group) hierAllReduce(rank int, vec []float64) error {
 	lay := g.lay
 	j := lay.nodeOf[rank]
@@ -84,7 +86,7 @@ func (g *Group) hierAllReduce(rank int, vec []float64) error {
 				}
 				mlo, mhi := bounds(len(vec), gn, msg.idx)
 				if mhi-mlo != len(msg.data) {
-					return fmt.Errorf("collective: leader %d got node chunk %d of %d values, want %d",
+					return fmt.Errorf("collective: leader %d got node chunk %d of %d values, want %d", //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 						rank, msg.idx, len(msg.data), mhi-mlo)
 				}
 				copy(vec[mlo:mhi], msg.data)
@@ -125,7 +127,7 @@ func (g *Group) hierAllReduce(rank int, vec []float64) error {
 				return err
 			}
 			if msg.idx != owned || hi-lo != len(msg.data) {
-				return fmt.Errorf("collective: rank %d got global chunk %d of %d values, want chunk %d of %d",
+				return fmt.Errorf("collective: rank %d got global chunk %d of %d values, want chunk %d of %d", //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 					rank, msg.idx, len(msg.data), owned, hi-lo)
 			}
 			copy(vec[lo:hi], msg.data)

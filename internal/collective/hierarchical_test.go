@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -338,7 +339,7 @@ func TestHierarchicalCloseUnblocks(t *testing.T) {
 		done <- g.AllReduce(3, []float64{1, 2, 3})
 	}()
 	g.Close()
-	if err := <-done; err != ErrClosed {
+	if err := <-done; !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

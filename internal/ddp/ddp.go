@@ -133,6 +133,8 @@ func (r *Reducer) NumBuckets() int { return len(r.buckets) }
 // network. It must be called collectively: every rank of g steps with the
 // same bucket plan. Blocking is bounded by g.Close, which aborts in-flight
 // reductions with collective.ErrClosed.
+//
+//elan:hotpath
 func (r *Reducer) BackwardAllReduce(g *collective.Group, rank int, lossGrad *tensor.Matrix) error {
 	return r.BackwardAllReduceTraced(g, rank, lossGrad, telemetry.TraceContext{})
 }
@@ -142,19 +144,23 @@ func (r *Reducer) BackwardAllReduce(g *collective.Group, rank int, lossGrad *ten
 // span and the overlapped per-bucket allreduce spans become children of the
 // same parent, so the trace shows compute and communication side by side.
 // A zero tc is the plain uninstrumented path.
+//
+//elan:hotpath
 func (r *Reducer) BackwardAllReduceTraced(g *collective.Group, rank int, lossGrad *tensor.Matrix, tc telemetry.TraceContext) error {
 	if r.closed {
-		return fmt.Errorf("ddp: reducer closed")
+		return fmt.Errorf("ddp: reducer closed") //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 	}
 	if !r.started {
 		r.started = true
-		go r.commLoop()
+		go r.commLoop() //elan:vet-allow hotpathalloc — one-time resident comm-goroutine startup on first step
 	}
 	return r.step(g, rank, lossGrad, tc)
 }
 
 // step submits the request to the comm goroutine, runs backward with the
 // bucket hook, and joins the reduction.
+//
+//elan:hotpath
 func (r *Reducer) step(g *collective.Group, rank int, lossGrad *tensor.Matrix, tc telemetry.TraceContext) error {
 	r.fired = 0
 	r.req <- reduceReq{g: g, rank: rank, tc: tc}
@@ -204,6 +210,8 @@ func (r *Reducer) Close() {
 
 // commLoop is the resident reduction goroutine: one request per step, one
 // allreduce per bucket, in plan order.
+//
+//elan:hotpath
 func (r *Reducer) commLoop() {
 	defer close(r.done)
 	for req := range r.req {
@@ -214,6 +222,8 @@ func (r *Reducer) commLoop() {
 // runBuckets drains this step's bucket signals in plan order, reducing and
 // averaging each range. On error it keeps draining (the signal count per
 // step is fixed) and reports the first failure.
+//
+//elan:hotpath
 func (r *Reducer) runBuckets(req reduceReq) error {
 	var firstErr error
 	inv := 1 / float64(req.g.Size())
@@ -223,7 +233,7 @@ func (r *Reducer) runBuckets(req reduceReq) error {
 			continue
 		}
 		if b != want {
-			firstErr = fmt.Errorf("ddp: bucket %d signalled, want %d", b, want)
+			firstErr = fmt.Errorf("ddp: bucket %d signalled, want %d", b, want) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 			continue
 		}
 		bk := r.buckets[b]

@@ -64,10 +64,12 @@ func NewLinear(rng *rand.Rand, in, out int) (*Linear, error) {
 }
 
 // wsFor returns (building on first use) the workspace for a batch of rows.
+//
+//elan:hotpath
 func (l *Linear) wsFor(rows int) *linearWS {
 	w := l.ws[rows]
 	if w == nil {
-		w = &linearWS{
+		w = &linearWS{ //elan:vet-allow hotpathalloc — first-use workspace priming; steady state reuses it
 			input:  tensor.MustNew(rows, l.W.Rows),
 			out:    tensor.MustNew(rows, l.W.Cols),
 			gradIn: tensor.MustNew(rows, l.W.Rows),
@@ -80,9 +82,11 @@ func (l *Linear) wsFor(rows int) *linearWS {
 // Forward computes xW + b into the layer's workspace and caches a copy of
 // x for the backward pass. The returned matrix is workspace-owned and
 // valid until the next Forward with the same batch size.
+//
+//elan:hotpath
 func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != l.W.Rows {
-		return nil, fmt.Errorf("nn: forward %dx%d through %dx%d layer",
+		return nil, fmt.Errorf("nn: forward %dx%d through %dx%d layer", //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 			x.Rows, x.Cols, l.W.Rows, l.W.Cols)
 	}
 	w := l.wsFor(x.Rows)
@@ -100,10 +104,12 @@ func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 // Backward accumulates parameter gradients and returns the gradient with
 // respect to the layer input (workspace-owned, valid until the next
 // Backward with the same batch size).
+//
+//elan:hotpath
 func (l *Linear) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 	w := l.cur
 	if w == nil {
-		return nil, fmt.Errorf("nn: backward before forward")
+		return nil, fmt.Errorf("nn: backward before forward") //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 	}
 	if err := tensor.MatMulATInto(l.gw, w.input, grad); err != nil {
 		return nil, err
@@ -157,10 +163,12 @@ func NewMLP(rng *rand.Rand, sizes []int) (*MLP, error) {
 
 // Forward runs the network and returns logits (workspace-owned; valid
 // until the next Forward with the same batch size).
+//
+//elan:hotpath
 func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 	masks := m.maskWS[x.Rows]
 	if masks == nil {
-		masks = make([]*tensor.Matrix, len(m.layers)-1)
+		masks = make([]*tensor.Matrix, len(m.layers)-1) //elan:vet-allow hotpathalloc — first-use workspace priming; steady state reuses it
 		m.maskWS[x.Rows] = masks
 	}
 	h := x
@@ -168,7 +176,7 @@ func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 		var err error
 		h, err = l.Forward(h)
 		if err != nil {
-			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
+			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 		}
 		if i < len(m.layers)-1 {
 			if masks[i] == nil {
@@ -185,6 +193,8 @@ func (m *MLP) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 
 // Backward propagates the loss gradient through the network, accumulating
 // parameter gradients.
+//
+//elan:hotpath
 func (m *MLP) Backward(grad *tensor.Matrix) error {
 	return m.BackwardLayers(grad, nil)
 }
@@ -195,13 +205,15 @@ func (m *MLP) Backward(grad *tensor.Matrix) error {
 // hangs off this hook — the allreduce of already-finished layers overlaps
 // the rest of the backward pass. Layers complete in descending index
 // order. A nil onLayer makes it exactly Backward.
+//
+//elan:hotpath
 func (m *MLP) BackwardLayers(grad *tensor.Matrix, onLayer func(layer int) error) error {
 	g := grad
 	for i := len(m.layers) - 1; i >= 0; i-- {
 		var err error
 		g, err = m.layers[i].Backward(g)
 		if err != nil {
-			return fmt.Errorf("nn: layer %d backward: %w", i, err)
+			return fmt.Errorf("nn: layer %d backward: %w", i, err) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 		}
 		if onLayer != nil {
 			if err := onLayer(i); err != nil {
@@ -222,9 +234,11 @@ func (m *MLP) NumLayers() int { return len(m.layers) }
 
 // layerOffsets returns (building once) the prefix offsets of each layer's
 // gradients in the FlattenGrads order: layer i occupies [offs[i], offs[i+1]).
+//
+//elan:hotpath
 func (m *MLP) layerOffsets() []int {
 	if m.offs == nil {
-		m.offs = make([]int, len(m.layers)+1)
+		m.offs = make([]int, len(m.layers)+1) //elan:vet-allow hotpathalloc — first-use workspace priming; steady state reuses it
 		off := 0
 		for i, l := range m.layers {
 			m.offs[i] = off
@@ -237,6 +251,8 @@ func (m *MLP) layerOffsets() []int {
 
 // GradRange returns the [lo, hi) range layer's gradients occupy in the
 // flattened gradient vector (FlattenGrads / LoadGrads order).
+//
+//elan:hotpath
 func (m *MLP) GradRange(layer int) (int, int) {
 	offs := m.layerOffsets()
 	return offs[layer], offs[layer+1]
@@ -246,13 +262,15 @@ func (m *MLP) GradRange(layer int) (int, int) {
 // of flat, which must cover the full flattened gradient vector. Unlike
 // FlattenGrads it touches only that layer's range, so a bucketing reducer
 // can flatten each layer the moment its backward completes.
+//
+//elan:hotpath
 func (m *MLP) FlattenLayerGrads(layer int, flat []float64) error {
 	if layer < 0 || layer >= len(m.layers) {
-		return fmt.Errorf("nn: layer %d out of [0, %d)", layer, len(m.layers))
+		return fmt.Errorf("nn: layer %d out of [0, %d)", layer, len(m.layers)) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 	}
 	lo, hi := m.GradRange(layer)
 	if len(flat) < hi {
-		return fmt.Errorf("nn: flat gradient vector of %d values, need %d", len(flat), hi)
+		return fmt.Errorf("nn: flat gradient vector of %d values, need %d", len(flat), hi) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 	}
 	l := m.layers[layer]
 	n := copy(flat[lo:hi], l.GradW.Data)
@@ -261,6 +279,8 @@ func (m *MLP) FlattenLayerGrads(layer int, flat []float64) error {
 }
 
 // ZeroGrads clears all accumulated gradients.
+//
+//elan:hotpath
 func (m *MLP) ZeroGrads() {
 	for _, l := range m.layers {
 		l.GradW.Zero()
@@ -272,6 +292,8 @@ func (m *MLP) ZeroGrads() {
 // built once and cached (the matrices are fixed at construction), so hot
 // paths may call it every step without allocating; callers must not mutate
 // the slice itself.
+//
+//elan:hotpath
 func (m *MLP) Params() []*tensor.Matrix {
 	if m.params == nil {
 		for _, l := range m.layers {
@@ -283,6 +305,8 @@ func (m *MLP) Params() []*tensor.Matrix {
 
 // Grads returns all gradient matrices in the same order as Params, cached
 // like Params.
+//
+//elan:hotpath
 func (m *MLP) Grads() []*tensor.Matrix {
 	if m.grads == nil {
 		for _, l := range m.layers {
@@ -313,11 +337,15 @@ func (m *MLP) LoadParams(flat []float64) error {
 }
 
 // FlattenGrads appends all gradients to dst.
+//
+//elan:hotpath
 func (m *MLP) FlattenGrads(dst []float64) []float64 {
 	return tensor.FlattenTo(dst, m.Grads()...)
 }
 
 // LoadGrads copies a flattened gradient vector into the network.
+//
+//elan:hotpath
 func (m *MLP) LoadGrads(flat []float64) error {
 	_, err := tensor.UnflattenFrom(flat, m.Grads()...)
 	return err
@@ -328,6 +356,8 @@ func (m *MLP) LoadGrads(flat []float64) error {
 // the first call with a given batch size it allocates nothing. The
 // returned gradient is workspace-owned and reused by the next call with
 // the same batch size.
+//
+//elan:hotpath
 func (m *MLP) SoftmaxLoss(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix, error) {
 	p := m.probs[logits.Rows]
 	if p == nil || p.Cols != logits.Cols {
@@ -351,9 +381,11 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 // softmaxCrossEntropyInto computes the loss and gradient into the
 // caller-owned probs buffer (same shape as logits) and returns probs as
 // the gradient.
+//
+//elan:hotpath
 func softmaxCrossEntropyInto(probs, logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix, error) {
 	if len(labels) != logits.Rows {
-		return 0, nil, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows)
+		return 0, nil, fmt.Errorf("nn: %d labels for %d rows", len(labels), logits.Rows) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 	}
 	copy(probs.Data, logits.Data)
 	probs.SoftmaxRows()
@@ -361,7 +393,7 @@ func softmaxCrossEntropyInto(probs, logits *tensor.Matrix, labels []int) (float6
 	grad := probs // reuse: grad = probs - onehot
 	for i, y := range labels {
 		if y < 0 || y >= logits.Cols {
-			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", y, logits.Cols)
+			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", y, logits.Cols) //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 		}
 		p := probs.At(i, y)
 		if p < 1e-12 {
@@ -420,9 +452,11 @@ func NewSGD(params []*tensor.Matrix, lr, momentum float64) (*SGD, error) {
 }
 
 // Step applies one update: v = mu*v + g; p -= lr*v.
+//
+//elan:hotpath
 func (s *SGD) Step(params, grads []*tensor.Matrix) error {
 	if len(params) != len(s.velocity) || len(grads) != len(s.velocity) {
-		return fmt.Errorf("nn: optimizer state mismatch: %d params, %d grads, %d velocities",
+		return fmt.Errorf("nn: optimizer state mismatch: %d params, %d grads, %d velocities", //elan:vet-allow hotpathalloc — cold error path, never taken in the zero-alloc steady state
 			len(params), len(grads), len(s.velocity))
 	}
 	for i, p := range params {

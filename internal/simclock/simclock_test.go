@@ -1,6 +1,7 @@
 package simclock
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -92,7 +93,7 @@ func TestStop(t *testing.T) {
 	})
 	c.After(2*time.Second, "second", func() { count++ })
 	err := c.RunAll()
-	if err != ErrStopped {
+	if !errors.Is(err, ErrStopped) {
 		t.Fatalf("RunAll err = %v, want ErrStopped", err)
 	}
 	if count != 1 {

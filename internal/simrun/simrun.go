@@ -8,6 +8,7 @@
 package simrun
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -263,7 +264,7 @@ func Run(cfg Config, scaleOuts []ScaleOutAt, horizon time.Duration) (*Result, er
 		})
 	}
 	iterate()
-	if err := clk.Run(horizon); err != nil && err != simclock.ErrStopped {
+	if err := clk.Run(horizon); err != nil && !errors.Is(err, simclock.ErrStopped) {
 		return nil, err
 	}
 	if runErr != nil {

@@ -81,6 +81,8 @@ func (f *FlightRecorder) Total() uint64 {
 }
 
 // slot claims the next ring slot. Caller holds f.mu.
+//
+//elan:hotpath
 func (f *FlightRecorder) slot() *FlightRecord {
 	s := &f.buf[f.next]
 	f.next++
@@ -96,6 +98,8 @@ func (f *FlightRecorder) slot() *FlightRecord {
 // Parent = the span's ID, so dumps re-associate them). The SpanRecord is
 // taken by value and only its backing arrays are read, never retained —
 // the whole path is allocation-free.
+//
+//elan:hotpath
 func (f *FlightRecorder) Record(rec SpanRecord) {
 	if f == nil {
 		return
@@ -135,6 +139,8 @@ func (f *FlightRecorder) Record(rec SpanRecord) {
 
 // RecordEvent writes a standalone instantaneous event (a crash marker, a
 // chaos fault) into the ring. Allocation-free.
+//
+//elan:hotpath
 func (f *FlightRecorder) RecordEvent(proc, name string, at time.Time) {
 	if f == nil {
 		return

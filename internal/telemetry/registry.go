@@ -23,6 +23,8 @@ type Counter struct {
 
 // Add increments the counter by n (negative n is ignored — counters only
 // go up).
+//
+//elan:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil || n <= 0 {
 		return
@@ -31,6 +33,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc adds one.
+//
+//elan:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on nil).
@@ -74,6 +78,8 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//elan:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -115,13 +115,19 @@ type RemoteTracer interface {
 type Nop struct{}
 
 // StartSpan implements Tracer.
+//
+//elan:hotpath
 func (Nop) StartSpan(string) *Span { return nil }
 
 // StartRemoteSpan implements RemoteTracer.
+//
+//elan:hotpath
 func (Nop) StartRemoteSpan(string, TraceContext) *Span { return nil }
 
 // OrNop normalizes a possibly-nil Tracer to Nop, the plumbing idiom used
 // by every instrumented config.
+//
+//elan:hotpath
 func OrNop(tr Tracer) Tracer {
 	if tr == nil {
 		return Nop{}
@@ -132,6 +138,8 @@ func OrNop(tr Tracer) Tracer {
 // StartRemote opens a remote-child span on any Tracer: tracers that
 // implement RemoteTracer link to the parent context, others fall back to a
 // root span. A nil or Nop tracer returns nil, keeping disabled paths free.
+//
+//elan:hotpath
 func StartRemote(tr Tracer, name string, parent TraceContext) *Span {
 	if tr == nil {
 		return nil
@@ -198,6 +206,8 @@ type Span struct {
 // Child opens a nested span under s, inheriting its trace and process
 // label. On a nil span it returns nil, keeping the whole tree free when
 // tracing is off.
+//
+//elan:hotpath
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
@@ -208,6 +218,8 @@ func (s *Span) Child(name string) *Span {
 // Context returns the span's wire identity for propagation in messages.
 // The nil span returns the zero TraceContext, so untraced paths propagate
 // "no trace" for free.
+//
+//elan:hotpath
 func (s *Span) Context() TraceContext {
 	if s == nil {
 		return TraceContext{}
@@ -217,6 +229,8 @@ func (s *Span) Context() TraceContext {
 
 // SetProc overrides the span's logical process label. A no-op on nil or
 // ended spans.
+//
+//elan:hotpath
 func (s *Span) SetProc(proc string) {
 	if s == nil || s.ended {
 		return
@@ -227,6 +241,8 @@ func (s *Span) SetProc(proc string) {
 // Annotate attaches a key/value attribute. After End the span record is
 // owned by the recorder, so late annotations are documented no-ops rather
 // than silent mutations of the finished record.
+//
+//elan:hotpath
 func (s *Span) Annotate(key, value string) {
 	if s == nil || s.ended {
 		return
@@ -236,6 +252,8 @@ func (s *Span) Annotate(key, value string) {
 
 // AnnotateInt attaches an integer attribute. The formatting cost is only
 // paid when the span is live. A no-op after End.
+//
+//elan:hotpath
 func (s *Span) AnnotateInt(key string, v int) {
 	if s == nil || s.ended {
 		return
@@ -244,6 +262,8 @@ func (s *Span) AnnotateInt(key string, v int) {
 }
 
 // AnnotateDuration attaches a duration attribute. A no-op after End.
+//
+//elan:hotpath
 func (s *Span) AnnotateDuration(key string, d time.Duration) {
 	if s == nil || s.ended {
 		return
@@ -253,6 +273,8 @@ func (s *Span) AnnotateDuration(key string, d time.Duration) {
 
 // Event records an instantaneous named event at the current (injected)
 // clock reading — resends, commit points, rollbacks. A no-op after End.
+//
+//elan:hotpath
 func (s *Span) Event(name string) {
 	if s == nil || s.ended {
 		return
@@ -262,6 +284,8 @@ func (s *Span) Event(name string) {
 
 // End closes the span and hands it to the recorder. Ending twice records
 // once.
+//
+//elan:hotpath
 func (s *Span) End() {
 	if s == nil || s.ended {
 		return

@@ -100,6 +100,8 @@ func (p *pool) configure(k int) int {
 // helper is one resident pool goroutine: it joins every region announced on
 // wake and reports completion on done. The channels are passed explicitly
 // so a retired generation never touches its successor's channels.
+//
+//elan:hotpath
 func (p *pool) helper(stop, wake, done chan struct{}) {
 	defer p.wg.Done()
 	for {
@@ -116,6 +118,8 @@ func (p *pool) helper(stop, wake, done chan struct{}) {
 // work claims row blocks until the region is exhausted. Claiming is
 // dynamic (atomic cursor) for load balance; determinism is unaffected
 // because block results are independent.
+//
+//elan:hotpath
 func (p *pool) work() {
 	for {
 		blk := p.next.Add(1) - 1
@@ -133,6 +137,8 @@ func (p *pool) work() {
 
 // run executes kern over rows output rows, fanning out to the pool when the
 // estimated work (multiply-adds) is large enough to amortize dispatch.
+//
+//elan:hotpath
 func (p *pool) run(kern kernelFn, dst, a, b *Matrix, rows, work int) {
 	if rows < 2 || work < minParallelWork || p.k.Load() < 2 {
 		kern(dst, a, b, 0, rows)

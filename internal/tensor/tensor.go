@@ -111,21 +111,25 @@ const kBlock = 128
 // or b. Results are bit-identical to MatMul at every parallelism level:
 // each output row is owned by exactly one goroutine and accumulates in the
 // same k-ascending order as the naive kernel.
+//
+//elan:hotpath
 func MatMulInto(dst, a, b *Matrix) error {
 	if a.Cols != b.Rows {
-		return fmt.Errorf("tensor: matmul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return fmt.Errorf("tensor: matmul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		return fmt.Errorf("tensor: matmul into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+		return fmt.Errorf("tensor: matmul into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if aliases(dst, a) || aliases(dst, b) {
-		return fmt.Errorf("tensor: matmul destination aliases an operand")
+		return fmt.Errorf("tensor: matmul destination aliases an operand") //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	par.run(matMulRows, dst, a, b, dst.Rows, a.Rows*a.Cols*b.Cols)
 	return nil
 }
 
 // matMulRows computes rows [lo, hi) of dst = a*b with k-blocking.
+//
+//elan:hotpath
 func matMulRows(dst, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
@@ -157,15 +161,17 @@ func matMulRows(dst, a, b *Matrix, lo, hi int) {
 
 // MatMulATInto computes dst = aᵀ*b into the caller-owned dst (see
 // MatMulInto for the aliasing and determinism contract).
+//
+//elan:hotpath
 func MatMulATInto(dst, a, b *Matrix) error {
 	if a.Rows != b.Rows {
-		return fmt.Errorf("tensor: matmulAT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return fmt.Errorf("tensor: matmulAT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
-		return fmt.Errorf("tensor: matmulAT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols)
+		return fmt.Errorf("tensor: matmulAT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if aliases(dst, a) || aliases(dst, b) {
-		return fmt.Errorf("tensor: matmulAT destination aliases an operand")
+		return fmt.Errorf("tensor: matmulAT destination aliases an operand") //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	par.run(matMulATRows, dst, a, b, dst.Rows, a.Rows*a.Cols*b.Cols)
 	return nil
@@ -174,6 +180,8 @@ func MatMulATInto(dst, a, b *Matrix) error {
 // matMulATRows computes rows [lo, hi) of dst = aᵀ*b. The k loop (rows of a
 // and b) stays outermost, matching the naive MatMulAT accumulation order
 // per output element.
+//
+//elan:hotpath
 func matMulATRows(dst, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
@@ -199,15 +207,17 @@ func matMulATRows(dst, a, b *Matrix, lo, hi int) {
 
 // MatMulBTInto computes dst = a*bᵀ into the caller-owned dst (see
 // MatMulInto for the aliasing and determinism contract).
+//
+//elan:hotpath
 func MatMulBTInto(dst, a, b *Matrix) error {
 	if a.Cols != b.Cols {
-		return fmt.Errorf("tensor: matmulBT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+		return fmt.Errorf("tensor: matmulBT %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
-		return fmt.Errorf("tensor: matmulBT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows)
+		return fmt.Errorf("tensor: matmulBT into %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if aliases(dst, a) || aliases(dst, b) {
-		return fmt.Errorf("tensor: matmulBT destination aliases an operand")
+		return fmt.Errorf("tensor: matmulBT destination aliases an operand") //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	par.run(matMulBTRows, dst, a, b, dst.Rows, a.Rows*a.Cols*b.Rows)
 	return nil
@@ -215,6 +225,8 @@ func MatMulBTInto(dst, a, b *Matrix) error {
 
 // matMulBTRows computes rows [lo, hi) of dst = a*bᵀ as row-dot-products,
 // exactly as the naive MatMulBT does.
+//
+//elan:hotpath
 func matMulBTRows(dst, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -324,12 +336,14 @@ func (m *Matrix) SumRows() *Matrix {
 
 // SumRowsInto writes the 1 x Cols column sums of m into the caller-owned
 // dst, allocation-free. dst must not alias m.
+//
+//elan:hotpath
 func (m *Matrix) SumRowsInto(dst *Matrix) error {
 	if dst.Rows != 1 || dst.Cols != m.Cols {
-		return fmt.Errorf("tensor: sum rows of %dx%d into %dx%d", m.Rows, m.Cols, dst.Rows, dst.Cols)
+		return fmt.Errorf("tensor: sum rows of %dx%d into %dx%d", m.Rows, m.Cols, dst.Rows, dst.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if aliases(dst, m) {
-		return fmt.Errorf("tensor: sum rows destination aliases the source")
+		return fmt.Errorf("tensor: sum rows destination aliases the source") //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	for j := range dst.Data {
 		dst.Data[j] = 0
@@ -367,12 +381,14 @@ func (m *Matrix) ReLU() *Matrix {
 // ReLUInto applies max(0, x) to m in place and writes the positive-input
 // mask into the caller-owned mask (1 where the input was positive, 0
 // elsewhere), allocation-free. mask must not alias m.
+//
+//elan:hotpath
 func (m *Matrix) ReLUInto(mask *Matrix) error {
 	if mask.Rows != m.Rows || mask.Cols != m.Cols {
-		return fmt.Errorf("tensor: relu mask %dx%d for %dx%d", mask.Rows, mask.Cols, m.Rows, m.Cols)
+		return fmt.Errorf("tensor: relu mask %dx%d for %dx%d", mask.Rows, mask.Cols, m.Rows, m.Cols) //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	if aliases(mask, m) {
-		return fmt.Errorf("tensor: relu mask aliases the input")
+		return fmt.Errorf("tensor: relu mask aliases the input") //elan:vet-allow hotpathalloc — cold validation error path, never taken in the zero-alloc steady state
 	}
 	for i, v := range m.Data {
 		if v > 0 {
