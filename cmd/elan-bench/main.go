@@ -11,6 +11,7 @@
 //	elan-bench -collective coll.json       # flat vs hierarchical allreduce report
 //	elan-bench -telemetry telem.json       # span + flight-recorder overhead report
 //	elan-bench -transport transport.json   # dial-per-call vs pooled TCP data-plane report
+//	elan-bench -store store.json           # sharded store + delta checkpoint report
 package main
 
 import (
@@ -38,7 +39,16 @@ func main() {
 		"measure the tracing overhead (disabled/enabled spans, flight ring) and write the report to this JSON file")
 	transOut := flag.String("transport", "",
 		"measure the TCP data plane (dial-per-call vs pooled multiplexed client at 1/64/256 concurrent callers) and write the report to this JSON file")
+	storeOut := flag.String("store", "",
+		"measure the sharded store (vs the old single-mutex design), watch fan-out cost and delta checkpoints, and write the report to this JSON file")
 	flag.Parse()
+	if *storeOut != "" {
+		if err := writeStoreJSON(*storeOut, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "elan-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *transOut != "" {
 		if err := writeTransportJSON(*transOut, *quick, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "elan-bench:", err)

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteStoreJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	var b strings.Builder
+	if err := writeStoreJSON(path, true, &b); err != nil {
+		t.Fatalf("writeStoreJSON: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report storeBenchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	byName := map[string]storeBenchRow{}
+	for _, r := range report.Rows {
+		byName[r.Name] = r
+		if r.Ops <= 0 || r.NsPerOp <= 0 || r.OpsPerSec <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	for _, name := range []string{
+		"mutex_c1", "mutex_c64", "mutex_c256",
+		"sharded_c1", "sharded_c64", "sharded_c256",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("report missing %q", name)
+		}
+	}
+	// The committed BENCH_store.json trajectory pins speedup_c256 >= 3 on a
+	// quiet machine; in quick mode only shape and direction are asserted.
+	if report.SpeedupC256 <= 1 {
+		t.Errorf("speedup_c256 = %.2f, sharded store slower than single-mutex", report.SpeedupC256)
+	}
+	if len(report.Watch) != 2 {
+		t.Fatalf("watch rows = %d, want 2", len(report.Watch))
+	}
+	// The O(changed-keys) contract is exact, not statistical: zero fan-out
+	// work on the unwatched key, exactly one delivery per put on the
+	// watched one.
+	if w := report.Watch[0]; w.Name != "put_unwatched_key" || w.WatchWorkPerPut != 0 {
+		t.Errorf("unwatched row = %+v, want zero watch work", w)
+	}
+	if w := report.Watch[1]; w.Name != "put_watched_key" || w.WatchWorkPerPut != 1 {
+		t.Errorf("watched row = %+v, want one delivery per put", w)
+	}
+	if len(report.Checkpoint) < 2 {
+		t.Fatalf("checkpoint rows = %d, want >= 2", len(report.Checkpoint))
+	}
+	for _, r := range report.Checkpoint {
+		if r.DeltaBytes <= 0 || r.FullBlobBytes <= 0 || r.WarmRestoreNs <= 0 {
+			t.Errorf("%s: degenerate checkpoint row %+v", r.Name, r)
+		}
+	}
+	// Delta bytes are a function of the dirty set, not the model: exactly
+	// flat across sizes. The full blob must grow with the model.
+	if report.DeltaBytesGrowth != 1 {
+		t.Errorf("delta_bytes_growth = %.2f, want 1.0 (O(dirty) bytes)", report.DeltaBytesGrowth)
+	}
+	if report.FullBytesGrowth < 2 {
+		t.Errorf("full_bytes_growth = %.2f, want model-proportional growth", report.FullBytesGrowth)
+	}
+	if !strings.Contains(b.String(), "wrote") {
+		t.Errorf("summary line missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/elan-sys/elan/internal/checkpoint"
+)
+
+// TestChaosDeltaCheckpointRecovery is the tentpole acceptance scenario run
+// through the harness: periodic delta saves ride the chaos run, a store
+// crash is injected mid-save (chunks written, manifest never committed),
+// the AM crashes and a successor recovers — and the fleet restores
+// bit-identical to the last *committed* manifest. Bit-identity is proven
+// through the chain itself: a save taken immediately after the restore
+// must find zero dirty chunks against the committed hashes.
+func TestChaosDeltaCheckpointRecovery(t *testing.T) {
+	guardGoroutines(t)
+	ds := checkpoint.NewDeltaStore(checkpoint.DeltaConfig{ChunkElems: 16, CompactEvery: 100})
+	h, err := New(Config{
+		Workers: 2,
+		Schedule: Schedule{Seed: 5, Faults: []Fault{
+			{Iter: 6, Kind: AMCrash},
+			{Iter: 7, Kind: AMRecover},
+		}},
+		Checkpoints:     ds,
+		CheckpointEvery: 3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer h.Close()
+
+	// Iters 0..4: one periodic save commits after iter 2.
+	if err := h.Run(5); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := h.Fleet.CheckpointSeq(); got == 0 {
+		t.Fatal("no committed checkpoint after first window")
+	}
+	committedSeq := h.Fleet.CheckpointSeq()
+
+	// The next periodic save (after iter 5) dies between its chunk writes
+	// and the manifest commit; the AM crashes at 6 and recovers at 7.
+	ds.InjectCrash(1)
+	if err := h.Run(3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := h.Report()
+	if len(r.CheckpointErrors) != 1 || !strings.Contains(r.CheckpointErrors[0], checkpoint.ErrCrashInjected.Error()) {
+		t.Fatalf("CheckpointErrors = %v, want one injected crash", r.CheckpointErrors)
+	}
+	if h.Fleet.CheckpointSeq() != committedSeq {
+		t.Fatalf("torn save advanced the committed seq: %d -> %d", committedSeq, h.Fleet.CheckpointSeq())
+	}
+	if head, ok := ds.LastSeq("fleet"); !ok || head != committedSeq {
+		t.Fatalf("store chain head = %d (ok=%v), want last commit %d", head, ok, committedSeq)
+	}
+
+	// Recover from the manifest chain, then prove bit-identity: re-saving
+	// the restored state finds every chunk clean against the committed
+	// chain. The torn save's orphan chunks are invisible.
+	rs, err := h.Fleet.RestoreCheckpoint()
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	if rs.Seq != committedSeq {
+		t.Fatalf("restored seq %d, want %d", rs.Seq, committedSeq)
+	}
+	st, err := h.Fleet.SaveCheckpoint()
+	if err != nil {
+		t.Fatalf("post-restore save: %v", err)
+	}
+	if st.ChunksDirty != 0 || st.BytesWritten != 0 {
+		t.Fatalf("restored state differs from committed chain: %+v", st)
+	}
+
+	// Training continues, and the next periodic save commits cleanly.
+	if err := h.Run(3); err != nil {
+		t.Fatalf("Run after restore: %v", err)
+	}
+	r = h.Report()
+	if !r.Consistent {
+		t.Fatal("replicas inconsistent after delta recovery")
+	}
+	if r.AMDown {
+		t.Fatal("AM still down")
+	}
+	if r.CheckpointSeq <= committedSeq {
+		t.Fatalf("no clean commit after recovery: seq %d", r.CheckpointSeq)
+	}
+	if r.CheckpointSaves < 2 {
+		t.Fatalf("CheckpointSaves = %d, want >= 2", r.CheckpointSaves)
+	}
+}
+
+// TestChaosCheckpointEventsDeterministic: ckpt.save lines are schedule
+// functions (iteration cadence), so two same-config runs — even with a
+// fault storm — produce byte-identical event logs including the saves.
+func TestChaosCheckpointEventsDeterministic(t *testing.T) {
+	guardGoroutines(t)
+	run := func() string {
+		t.Helper()
+		h, err := New(Config{
+			Workers: 2,
+			Schedule: Schedule{Seed: 11, Faults: []Fault{
+				{Iter: 1, Kind: WorkerCrash, Target: "agent-1"},
+				{Iter: 3, Kind: WorkerRestart, Target: "agent-1"},
+			}},
+			Checkpoints:     checkpoint.NewDeltaStore(checkpoint.DeltaConfig{ChunkElems: 16}),
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer h.Close()
+		if err := h.Run(6); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return FormatEvents(h.Events())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("event logs differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "ckpt.save") {
+		t.Fatalf("no ckpt.save events logged:\n%s", a)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/elan-sys/elan/internal/checkpoint"
 	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/coord"
 	"github.com/elan-sys/elan/internal/data"
@@ -38,6 +39,13 @@ type Config struct {
 	// event per injected fault, and is dumped automatically on each fault
 	// so the recent span history around a disruption survives.
 	Flight *telemetry.FlightRecorder
+	// Checkpoints, when non-nil, wires the fleet to a delta checkpoint
+	// store and Run saves into it every CheckpointEvery iterations —
+	// including, under an injected store crash, mid-save failures whose
+	// recovery the delta tests assert on. CheckpointEvery <= 0 disables
+	// the periodic saves (explicit SaveCheckpoint calls still work).
+	Checkpoints     *checkpoint.DeltaStore
+	CheckpointEvery int
 }
 
 // Harness owns a fully wired rig — sim clock, bus with the fault hook
@@ -62,6 +70,9 @@ type Harness struct {
 	faultErrs []string
 	oldAMs    []*coord.AM
 	mFaults   *telemetry.Counter
+
+	ckptSaves int      // committed periodic delta saves
+	ckptErrs  []string // failed periodic saves (e.g. injected store crashes)
 }
 
 // window is an open timed fault awaiting its end iteration.
@@ -116,6 +127,7 @@ func New(cfg Config) (*Harness, error) {
 		Cluster:     cfg.Cluster,
 		BucketElems: cfg.BucketElems,
 		Flight:      cfg.Flight,
+		Checkpoints: cfg.Checkpoints,
 	})
 	if err != nil {
 		stopAuto()
@@ -152,8 +164,26 @@ func (h *Harness) Run(iters int) error {
 			return fmt.Errorf("chaos: step %d: %w", h.iter, err)
 		}
 		h.losses = append(h.losses, loss)
+		h.maybeCheckpoint()
 	}
 	return nil
+}
+
+// maybeCheckpoint runs the periodic delta save. Save timing is a pure
+// function of the iteration counter, so the ckpt.save log lines stay
+// byte-comparable across same-schedule runs; a failed save (a fault, not a
+// schedule event) is reported, never logged.
+func (h *Harness) maybeCheckpoint() {
+	every := h.cfg.CheckpointEvery
+	if h.cfg.Checkpoints == nil || every <= 0 || (h.iter+1)%every != 0 {
+		return
+	}
+	h.log("ckpt.save")
+	if _, err := h.Fleet.SaveCheckpoint(); err != nil {
+		h.ckptErrs = append(h.ckptErrs, err.Error())
+		return
+	}
+	h.ckptSaves++
 }
 
 // applyDue closes expired fault windows, then applies every scheduled fault
@@ -255,24 +285,32 @@ func (h *Harness) OldAMs() []*coord.AM {
 // Report summarizes runtime outcomes. Unlike the event log these depend on
 // scheduling nondeterminism and must not be compared byte-for-byte.
 type Report struct {
-	Iterations   int
-	Events       int
-	FaultErrors  []string
-	FinalWorkers int
-	FinalLoss    float64
-	Consistent   bool
-	AMDown       bool
+	Iterations       int
+	Events           int
+	FaultErrors      []string
+	FinalWorkers     int
+	FinalLoss        float64
+	Consistent       bool
+	AMDown           bool
+	CheckpointSaves  int
+	CheckpointErrors []string
+	CheckpointSeq    int64
 }
 
 // Report captures the current runtime outcome summary.
 func (h *Harness) Report() Report {
 	r := Report{
-		Iterations:   h.iter,
-		Events:       len(h.events),
-		FaultErrors:  append([]string(nil), h.faultErrs...),
-		FinalWorkers: h.Fleet.NumWorkers(),
-		Consistent:   h.Fleet.ReplicasConsistent(),
-		AMDown:       h.Fleet.AMDown(),
+		Iterations:       h.iter,
+		Events:           len(h.events),
+		FaultErrors:      append([]string(nil), h.faultErrs...),
+		FinalWorkers:     h.Fleet.NumWorkers(),
+		Consistent:       h.Fleet.ReplicasConsistent(),
+		AMDown:           h.Fleet.AMDown(),
+		CheckpointSaves:  h.ckptSaves,
+		CheckpointErrors: append([]string(nil), h.ckptErrs...),
+	}
+	if h.cfg.Checkpoints != nil {
+		r.CheckpointSeq = h.Fleet.CheckpointSeq()
 	}
 	if len(h.losses) > 0 {
 		r.FinalLoss = h.losses[len(h.losses)-1]

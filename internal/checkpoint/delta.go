@@ -1,0 +1,435 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/elan-sys/elan/internal/telemetry"
+)
+
+// Delta checkpointing (DESIGN §13): instead of serializing the full model
+// as one blob per save, the state vector is split into fixed-size chunks
+// (parameter ranges), each identified by a content hash. A save stores
+// only the chunks whose hash changed since the previous save and commits a
+// manifest — the chunk list plus a pointer to the previous manifest — so
+// the chain from any manifest back to the last full snapshot reconstructs
+// the exact state. The manifest write is the commit point: a crash after
+// some chunk writes but before the manifest leaves the previous chain
+// fully intact (the stranded chunks are garbage, collected at the next
+// compaction), so recovery is always bit-identical to the last committed
+// save. Every CompactEvery-th save is written full, which bounds chain
+// length and lets compaction drop unreachable manifests and chunks.
+
+// Errors returned by the delta store.
+var (
+	// ErrCrashInjected reports a fault-injection crash between chunk
+	// writes and the manifest commit (chaos harness hook).
+	ErrCrashInjected = errors.New("checkpoint: injected crash before manifest commit")
+	// ErrStateSize reports a warm restore against a state buffer whose
+	// length does not match the checkpointed model.
+	ErrStateSize = errors.New("checkpoint: state length mismatch")
+)
+
+// Delta store defaults.
+const (
+	// DefaultChunkElems is 4096 float64s per chunk (32 KiB): small enough
+	// that a handful of touched parameters dirties a handful of chunks,
+	// large enough that manifests stay tiny relative to payload.
+	DefaultChunkElems = 4096
+	// DefaultCompactEvery writes a full manifest (and compacts) every 8th
+	// save, bounding restore chains to 8 manifests.
+	DefaultCompactEvery = 8
+)
+
+// ChunkRef names one chunk of a manifest: its position in the state vector
+// and the content hash under which its payload is stored.
+type ChunkRef struct {
+	Index int
+	Hash  uint64
+}
+
+// Manifest is one committed save. Full manifests carry a ref for every
+// chunk; delta manifests carry only the dirty ones and chain to the
+// previous manifest via Base.
+type Manifest struct {
+	Seq      int64
+	Base     int64 // previous manifest's Seq (0 for a full manifest)
+	Full     bool
+	NumElems int
+	Header   []byte
+	Chunks   []ChunkRef
+}
+
+// SaveStats describes one Save.
+type SaveStats struct {
+	Seq           int64
+	Full          bool
+	Compacted     bool
+	ChunksTotal   int
+	ChunksDirty   int   // refs recorded in the manifest beyond the clean set
+	ChunksWritten int   // payloads newly stored (dirty minus content-dedup hits)
+	BytesWritten  int64 // payload bytes newly stored
+	BytesSkipped  int64 // payload bytes avoided vs a full-blob save
+}
+
+// RestoreStats describes one Restore/RestoreFrom.
+type RestoreStats struct {
+	Seq            int64
+	ChainLen       int // manifests walked
+	ChunksReplayed int // chunk payloads decoded
+	Bytes          int64
+}
+
+// DeltaConfig configures a DeltaStore. Zero values take the defaults
+// above; Metrics may be nil.
+type DeltaConfig struct {
+	ChunkElems   int
+	CompactEvery int
+	Metrics      *telemetry.Registry
+}
+
+// chain is the per-name checkpoint lineage.
+type chain struct {
+	manifests []Manifest // [0] is full; later entries are deltas
+	hashes    []uint64   // current per-chunk content hash (dirty detection)
+	numElems  int
+	sinceFull int // delta saves since manifests[0]
+}
+
+// DeltaStore is an in-memory content-addressed chunk store with manifest
+// chains, standing in for files on the shared FS exactly like Store does
+// for full blobs.
+type DeltaStore struct {
+	mu     sync.Mutex
+	cfg    DeltaConfig
+	chunks map[uint64][]byte // content hash → encoded payload
+	jobs   map[string]*chain
+	seq    int64
+
+	// crashAfter < 0 is disarmed; otherwise the next Save fails after
+	// that many chunk-payload writes, before committing its manifest.
+	crashAfter int
+
+	mSaves     *telemetry.Counter
+	mFullSaves *telemetry.Counter
+	mCompact   *telemetry.Counter
+	mBytesOut  *telemetry.Counter
+	mBytesSkip *telemetry.Counter
+	mChunksOut *telemetry.Counter
+	mRestores  *telemetry.Counter
+	mReplayed  *telemetry.Counter
+}
+
+// NewDeltaStore creates an empty delta checkpoint store.
+func NewDeltaStore(cfg DeltaConfig) *DeltaStore {
+	if cfg.ChunkElems <= 0 {
+		cfg.ChunkElems = DefaultChunkElems
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	d := &DeltaStore{
+		cfg:        cfg,
+		chunks:     make(map[uint64][]byte),
+		jobs:       make(map[string]*chain),
+		crashAfter: -1,
+	}
+	reg := cfg.Metrics
+	d.mSaves = reg.Counter("checkpoint_saves_total")
+	d.mFullSaves = reg.Counter("checkpoint_full_saves_total")
+	d.mCompact = reg.Counter("checkpoint_compactions_total")
+	d.mBytesOut = reg.Counter("checkpoint_bytes_written_total")
+	d.mBytesSkip = reg.Counter("checkpoint_bytes_skipped_total")
+	d.mChunksOut = reg.Counter("checkpoint_chunks_written_total")
+	d.mRestores = reg.Counter("checkpoint_restores_total")
+	d.mReplayed = reg.Counter("checkpoint_restore_chunks_total")
+	return d
+}
+
+// hashChunk folds the chunk's float64 bit patterns through a word-wide
+// FNV-1a variant (xor the full word, then multiply by the 64-bit FNV
+// prime). Not cryptographic — it detects drift between training steps,
+// not adversaries.
+//
+//elan:hotpath
+func hashChunk(vals []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		h ^= math.Float64bits(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// chunkBounds returns the [lo, hi) element range of chunk i.
+func (d *DeltaStore) chunkBounds(i, numElems int) (int, int) {
+	lo := i * d.cfg.ChunkElems
+	hi := lo + d.cfg.ChunkElems
+	if hi > numElems {
+		hi = numElems
+	}
+	return lo, hi
+}
+
+func (d *DeltaStore) numChunks(numElems int) int {
+	return (numElems + d.cfg.ChunkElems - 1) / d.cfg.ChunkElems
+}
+
+func encodeChunk(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeChunk(b []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// InjectCrash arms a one-shot fault: the next Save fails with
+// ErrCrashInjected after afterChunks chunk-payload writes, before its
+// manifest commits — the chaos harness's crash-mid-save probe.
+func (d *DeltaStore) InjectCrash(afterChunks int) {
+	d.mu.Lock()
+	d.crashAfter = afterChunks
+	d.mu.Unlock()
+}
+
+// Save checkpoints state (with its opaque header, typically the gob of the
+// runtime fields) under name, storing only chunks whose content changed
+// since the last committed save. The first save of a name, a save after
+// the model size changed, and every CompactEvery-th save are full; full
+// saves also compact the store.
+func (d *DeltaStore) Save(name string, header []byte, state []float64) (SaveStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	c := d.jobs[name]
+	full := c == nil || c.numElems != len(state) || c.sinceFull >= d.cfg.CompactEvery-1
+	n := d.numChunks(len(state))
+
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		lo, hi := d.chunkBounds(i, len(state))
+		hashes[i] = hashChunk(state[lo:hi])
+	}
+
+	var stats SaveStats
+	stats.Full = full
+	stats.ChunksTotal = n
+	refs := make([]ChunkRef, 0, n)
+	writes := 0
+	for i := 0; i < n; i++ {
+		dirty := full || hashes[i] != c.hashes[i]
+		lo, hi := d.chunkBounds(i, len(state))
+		size := int64(8 * (hi - lo))
+		if !dirty {
+			stats.BytesSkipped += size
+			continue
+		}
+		refs = append(refs, ChunkRef{Index: i, Hash: hashes[i]})
+		stats.ChunksDirty++
+		if _, ok := d.chunks[hashes[i]]; ok {
+			// Content-addressed dedup: the payload is already stored
+			// (e.g. a chunk reverted to an earlier value).
+			stats.BytesSkipped += size
+			continue
+		}
+		if d.crashAfter >= 0 && writes >= d.crashAfter {
+			// Simulated process death: some chunks landed, no manifest.
+			// The previous chain is untouched; the stranded payloads are
+			// garbage until the next compaction.
+			d.crashAfter = -1
+			return stats, fmt.Errorf("%w: %q after %d chunk writes", ErrCrashInjected, name, writes)
+		}
+		d.chunks[hashes[i]] = encodeChunk(state[lo:hi])
+		writes++
+		stats.ChunksWritten++
+		stats.BytesWritten += size
+	}
+
+	// Commit point: the manifest enters the chain only after every chunk
+	// it references is stored.
+	d.seq++
+	m := Manifest{
+		Seq:      d.seq,
+		Full:     full,
+		NumElems: len(state),
+		Header:   append([]byte(nil), header...),
+		Chunks:   refs,
+	}
+	if full {
+		d.jobs[name] = &chain{manifests: []Manifest{m}, hashes: hashes, numElems: len(state)}
+		stats.Compacted = d.compactLocked()
+		d.mFullSaves.Inc()
+		if stats.Compacted {
+			d.mCompact.Inc()
+		}
+	} else {
+		m.Base = c.manifests[len(c.manifests)-1].Seq
+		c.manifests = append(c.manifests, m)
+		c.hashes = hashes
+		c.sinceFull++
+	}
+	stats.Seq = m.Seq
+
+	d.mSaves.Inc()
+	d.mBytesOut.Add(stats.BytesWritten)
+	d.mBytesSkip.Add(stats.BytesSkipped)
+	d.mChunksOut.Add(int64(stats.ChunksWritten))
+	return stats, nil
+}
+
+// compactLocked drops every chunk payload not referenced by a live
+// manifest of any name. Called after a full save replaces a chain, which
+// is when references actually go away. Returns whether anything was
+// collected.
+func (d *DeltaStore) compactLocked() bool {
+	live := make(map[uint64]bool, len(d.chunks))
+	for _, c := range d.jobs {
+		for _, m := range c.manifests {
+			for _, ref := range m.Chunks {
+				live[ref.Hash] = true
+			}
+		}
+	}
+	collected := false
+	for h := range d.chunks {
+		if !live[h] {
+			delete(d.chunks, h)
+			collected = true
+		}
+	}
+	return collected
+}
+
+// resolve builds the newest chunk ref per index across the manifests
+// after seq position from (exclusive, by chain index), walking oldest to
+// newest so later saves win.
+func resolveRefs(manifests []Manifest, n int) []ChunkRef {
+	refs := make([]ChunkRef, n)
+	for i := range refs {
+		refs[i].Index = -1
+	}
+	for _, m := range manifests {
+		for _, ref := range m.Chunks {
+			refs[ref.Index] = ref
+		}
+	}
+	return refs
+}
+
+// Restore rebuilds the latest committed state of name from its manifest
+// chain: the last full snapshot plus every delta after it, newest chunk
+// winning per index.
+func (d *DeltaStore) Restore(name string) ([]byte, []float64, RestoreStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.jobs[name]
+	if !ok {
+		return nil, nil, RestoreStats{}, fmt.Errorf("%w: %q", ErrNoCheckpoint, name)
+	}
+	last := c.manifests[len(c.manifests)-1]
+	state := make([]float64, last.NumElems)
+	stats := RestoreStats{Seq: last.Seq, ChainLen: len(c.manifests)}
+	if err := d.applyLocked(c.manifests, state, &stats); err != nil {
+		return nil, nil, RestoreStats{}, err
+	}
+	d.mRestores.Inc()
+	d.mReplayed.Add(int64(stats.ChunksReplayed))
+	return append([]byte(nil), last.Header...), state, stats, nil
+}
+
+// RestoreFrom is the warm-restart path: the caller already holds the
+// state exactly as committed at manifest haveSeq (a restarted AM reusing
+// host memory, a rejoining worker with a stale replica) and only the
+// chunks that changed since then are decoded into it. If haveSeq is no
+// longer in the chain — compacted away, or from a different lineage — the
+// full chain is replayed instead.
+func (d *DeltaStore) RestoreFrom(name string, state []float64, haveSeq int64) ([]byte, RestoreStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.jobs[name]
+	if !ok {
+		return nil, RestoreStats{}, fmt.Errorf("%w: %q", ErrNoCheckpoint, name)
+	}
+	last := c.manifests[len(c.manifests)-1]
+	if len(state) != last.NumElems {
+		return nil, RestoreStats{}, fmt.Errorf("%w: have %d elems, checkpoint %q has %d",
+			ErrStateSize, len(state), name, last.NumElems)
+	}
+	from := 0 // full replay unless haveSeq is found in the chain
+	for i, m := range c.manifests {
+		if m.Seq == haveSeq {
+			from = i + 1
+			break
+		}
+	}
+	stats := RestoreStats{Seq: last.Seq, ChainLen: len(c.manifests) - from}
+	if err := d.applyLocked(c.manifests[from:], state, &stats); err != nil {
+		return nil, RestoreStats{}, err
+	}
+	d.mRestores.Inc()
+	d.mReplayed.Add(int64(stats.ChunksReplayed))
+	return append([]byte(nil), last.Header...), stats, nil
+}
+
+// applyLocked decodes the newest version of every chunk referenced by
+// manifests into state.
+func (d *DeltaStore) applyLocked(manifests []Manifest, state []float64, stats *RestoreStats) error {
+	if len(manifests) == 0 {
+		return nil
+	}
+	n := d.numChunks(len(state))
+	for _, ref := range resolveRefs(manifests, n) {
+		if ref.Index < 0 {
+			continue // untouched by this span of the chain
+		}
+		payload, ok := d.chunks[ref.Hash]
+		if !ok {
+			return fmt.Errorf("checkpoint: chunk %d (hash %x) missing from store", ref.Index, ref.Hash)
+		}
+		lo, hi := d.chunkBounds(ref.Index, len(state))
+		decodeChunk(payload, state[lo:hi])
+		stats.ChunksReplayed++
+		stats.Bytes += int64(len(payload))
+	}
+	return nil
+}
+
+// LastSeq returns the newest committed manifest seq for name.
+func (d *DeltaStore) LastSeq(name string) (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.jobs[name]
+	if !ok {
+		return 0, false
+	}
+	return c.manifests[len(c.manifests)-1].Seq, true
+}
+
+// Chain returns a copy of name's manifest chain (for tests and
+// inspection).
+func (d *DeltaStore) Chain(name string) []Manifest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.jobs[name]
+	if !ok {
+		return nil
+	}
+	return append([]Manifest(nil), c.manifests...)
+}
+
+// ChunkCount returns how many chunk payloads the store currently holds
+// (for compaction tests).
+func (d *DeltaStore) ChunkCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.chunks)
+}

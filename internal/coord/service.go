@@ -62,6 +62,7 @@ type Service struct {
 	bus  *transport.Bus
 	name string
 	tr   telemetry.Tracer
+	hb   *HeartbeatMonitor
 }
 
 // NewService registers the AM at name on the bus and starts serving. The
@@ -96,6 +97,10 @@ func (s *Service) Close() { s.bus.Remove(s.name) }
 // SetTracer makes the service open a span per AM operation (a remote child
 // of the transport handler's span, which itself chains to the caller).
 func (s *Service) SetTracer(tr telemetry.Tracer) { s.tr = telemetry.OrNop(tr) }
+
+// SetMonitor attaches the liveness monitor that batched worker.beats
+// frames fan into. Like SetTracer, call it before serving traffic.
+func (s *Service) SetMonitor(hb *HeartbeatMonitor) { s.hb = hb }
 
 func (s *Service) handle(m transport.Message) ([]byte, error) {
 	switch m.Kind {
@@ -149,6 +154,8 @@ func (s *Service) handle(m transport.Message) ([]byte, error) {
 			return nil, err
 		}
 		return json.Marshal(CoordReplyMsg{HasAdjustment: ok, Adjustment: adj})
+	case KindHeartbeats:
+		return handleBeats(s.hb, m.Payload)
 	case KindAMState:
 		return json.Marshal(StateReplyMsg{
 			State:   s.am.State(),
@@ -219,6 +226,17 @@ func (c *Client) ReportReadyCtx(ctx context.Context, worker string) error {
 		return err
 	}
 	_, err = c.ep.CallCtx(c.callCtx(ctx), c.amName, KindWorkerReport, payload)
+	return err
+}
+
+// Beats ships one batched liveness frame covering workers — the wire form
+// BeatBatcher produces. The service fans it into its attached monitor.
+func (c *Client) Beats(workers []string) error {
+	payload, err := json.Marshal(BeatsMsg{Workers: workers})
+	if err != nil {
+		return err
+	}
+	_, err = c.ep.CallCtx(c.ctx, c.amName, KindHeartbeats, payload)
 	return err
 }
 

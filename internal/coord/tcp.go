@@ -23,6 +23,7 @@ import (
 type TCPService struct {
 	am  *AM
 	srv *transport.Server
+	hb  *HeartbeatMonitor
 	// Addr is the bound address after Start.
 	Addr string
 }
@@ -54,6 +55,10 @@ func NewTCPServiceCtx(ctx context.Context, am *AM, addr string) (*TCPService, er
 // Close stops the server.
 func (s *TCPService) Close() { s.srv.Close() }
 
+// SetMonitor attaches the liveness monitor that batched worker.beats
+// frames fan into. Call it before serving traffic.
+func (s *TCPService) SetMonitor(hb *HeartbeatMonitor) { s.hb = hb }
+
 func (s *TCPService) handle(m transport.Message) ([]byte, error) {
 	switch m.Kind {
 	case KindAdjustRequest:
@@ -80,6 +85,8 @@ func (s *TCPService) handle(m transport.Message) ([]byte, error) {
 			return nil, err
 		}
 		return json.Marshal(CoordReplyMsg{HasAdjustment: ok, Adjustment: adj})
+	case KindHeartbeats:
+		return handleBeats(s.hb, m.Payload)
 	case KindAMState:
 		return json.Marshal(StateReplyMsg{
 			State:   s.am.State(),
@@ -164,6 +171,16 @@ func (c *TCPClient) ReportReady(worker string) error {
 		return err
 	}
 	_, err = c.call(KindWorkerReport, payload)
+	return err
+}
+
+// Beats ships one batched liveness frame covering workers.
+func (c *TCPClient) Beats(workers []string) error {
+	payload, err := json.Marshal(BeatsMsg{Workers: workers})
+	if err != nil {
+		return err
+	}
+	_, err = c.call(KindHeartbeats, payload)
 	return err
 }
 

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/elan-sys/elan/internal/checkpoint"
+)
+
+// Delta-checkpoint threading (DESIGN §13): a LiveJob's snapshot splits
+// into a tensor part — Params ++ OptState, the state vector the delta
+// store chunks and content-hashes — and a small header of runtime fields
+// (cursor, iteration, LR schedule) gob-encoded into the manifest. Saves
+// after the first write only the chunks the optimizer actually moved;
+// restores rebuild the exact Snapshot the full-blob path would have
+// produced.
+
+// snapshotHeader is the non-tensor remainder of a Snapshot plus the split
+// point of the state vector.
+type snapshotHeader struct {
+	Cursor    int
+	Iteration int
+	TBS       int
+	LR0, LRT  float64
+	LRTime0   int
+	LRRamp    int
+	NumParams int
+}
+
+// SaveDelta checkpoints the job's current training state into the delta
+// store under name, persisting only chunks that changed since the last
+// save of that name.
+func (lj *LiveJob) SaveDelta(ds *checkpoint.DeltaStore, name string) (checkpoint.SaveStats, error) {
+	snap, err := lj.Snapshot()
+	if err != nil {
+		return checkpoint.SaveStats{}, err
+	}
+	hdr, state, err := encodeSnapshot(snap)
+	if err != nil {
+		return checkpoint.SaveStats{}, err
+	}
+	return ds.Save(name, hdr, state)
+}
+
+// RestoreDelta rebuilds the last committed checkpoint of name from its
+// manifest chain and installs it into the job — the recovery path after a
+// crash, equivalent to RestoreSnapshot of the state at the last committed
+// save.
+func (lj *LiveJob) RestoreDelta(ds *checkpoint.DeltaStore, name string) (checkpoint.RestoreStats, error) {
+	hdr, state, stats, err := ds.Restore(name)
+	if err != nil {
+		return checkpoint.RestoreStats{}, err
+	}
+	snap, err := decodeSnapshot(hdr, state)
+	if err != nil {
+		return checkpoint.RestoreStats{}, err
+	}
+	if err := lj.RestoreSnapshot(snap); err != nil {
+		return checkpoint.RestoreStats{}, err
+	}
+	return stats, nil
+}
+
+// encodeSnapshot flattens a Snapshot into the delta store's (header,
+// state-vector) form.
+func encodeSnapshot(snap *Snapshot) ([]byte, []float64, error) {
+	var buf bytes.Buffer
+	h := snapshotHeader{
+		Cursor:    snap.Cursor,
+		Iteration: snap.Iteration,
+		TBS:       snap.TBS,
+		LR0:       snap.LR0,
+		LRT:       snap.LRT,
+		LRTime0:   snap.LRTime0,
+		LRRamp:    snap.LRRamp,
+		NumParams: len(snap.Params),
+	}
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return nil, nil, fmt.Errorf("core: encode checkpoint header: %w", err)
+	}
+	// Snapshot() flattens into fresh slices, so extending Params in place
+	// cannot alias live training state.
+	state := append(snap.Params, snap.OptState...)
+	return buf.Bytes(), state, nil
+}
+
+// decodeSnapshot is the inverse of encodeSnapshot.
+func decodeSnapshot(hdr []byte, state []float64) (*Snapshot, error) {
+	var h snapshotHeader
+	if err := gob.NewDecoder(bytes.NewReader(hdr)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint header: %w", err)
+	}
+	if h.NumParams < 0 || h.NumParams > len(state) {
+		return nil, fmt.Errorf("core: checkpoint header splits %d params out of %d elems",
+			h.NumParams, len(state))
+	}
+	return &Snapshot{
+		Params:    state[:h.NumParams],
+		OptState:  state[h.NumParams:],
+		Cursor:    h.Cursor,
+		Iteration: h.Iteration,
+		TBS:       h.TBS,
+		LR0:       h.LR0,
+		LRT:       h.LRT,
+		LRTime0:   h.LRTime0,
+		LRRamp:    h.LRRamp,
+	}, nil
+}

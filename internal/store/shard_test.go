@@ -1,0 +1,195 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/elan-sys/elan/internal/clock"
+	"github.com/elan-sys/elan/internal/telemetry"
+)
+
+func TestGetInto(t *testing.T) {
+	s := New()
+	dst := make([]byte, 0, 16)
+	if _, _, err := s.GetInto("missing", dst); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetInto missing = %v", err)
+	}
+	v := s.Put("k", []byte("abc"))
+	out, ver, err := s.GetInto("k", dst)
+	if err != nil || string(out) != "abc" || ver != v {
+		t.Fatalf("GetInto = %q, %d, %v", out, ver, err)
+	}
+	// Appends after existing content.
+	out2, _, err := s.GetInto("k", []byte("x"))
+	if err != nil || string(out2) != "xabc" {
+		t.Fatalf("GetInto append = %q, %v", out2, err)
+	}
+}
+
+// TestSnapshotIsolation drives a single writer that alternates Puts on two
+// keys living in different shards; because Snapshot holds every shard lock
+// at once, any cut it returns must be a prefix of the write sequence — the
+// first key's counter may lead the second's by at most one round. A racy
+// per-key read loop can observe the second key ahead of the first; the
+// snapshot never may.
+func TestSnapshotIsolation(t *testing.T) {
+	s := New()
+	enc := func(i uint64) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, i)
+		return b
+	}
+	dec := func(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Put("pair/x", enc(i))
+			s.Put("pair/y", enc(i))
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	for n := 0; n < 2000; n++ {
+		snap, rev := s.Snapshot("pair/x", "pair/y")
+		ex, okx := snap["pair/x"]
+		ey, oky := snap["pair/y"]
+		if !okx && !oky {
+			continue // before the first write
+		}
+		if okx != oky && oky {
+			t.Fatalf("snapshot saw y without x: %+v", snap)
+		}
+		if !oky {
+			continue // cut between the very first x and y
+		}
+		ix, iy := dec(ex.Value), dec(ey.Value)
+		if ix != iy && ix != iy+1 {
+			t.Fatalf("snapshot not a prefix cut: x=%d y=%d", ix, iy)
+		}
+		if ex.Version > rev || ey.Version > rev {
+			t.Fatalf("entry version beyond snapshot revision %d: %+v", rev, snap)
+		}
+	}
+}
+
+func TestSnapshotAllKeys(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	snap, rev := s.Snapshot()
+	if len(snap) != 2 || string(snap["a"].Value) != "1" || string(snap["b"].Value) != "2" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if rev != s.Rev() || rev < 2 {
+		t.Fatalf("rev = %d", rev)
+	}
+	// The snapshot is a copy, not a view.
+	snap["a"].Value[0] = 'X'
+	e, _ := s.Get("a")
+	if string(e.Value) != "1" {
+		t.Fatal("snapshot aliased internal storage")
+	}
+}
+
+// TestUnrelatedPutCostsNoWatchWork is the O(changed-keys) fan-out proof:
+// with 10k watchers idling on other keys, a storm of Puts on an unwatched
+// key performs zero per-watcher deliveries.
+func TestUnrelatedPutCostsNoWatchWork(t *testing.T) {
+	s := New()
+	const idle = 10000
+	cancels := make([]func(), 0, idle)
+	for i := 0; i < idle; i++ {
+		_, cancel := s.Watch(fmt.Sprintf("idle/%d", i))
+		cancels = append(cancels, cancel)
+	}
+	base := s.WatchWork()
+	for i := 0; i < 1000; i++ {
+		s.Put("hot", []byte("v"))
+	}
+	if got := s.WatchWork(); got != base {
+		t.Fatalf("unrelated Puts performed %d per-watcher deliveries, want 0", got-base)
+	}
+	// Sanity: the counter does move when a watched key changes.
+	ch, cancel := s.Watch("hot")
+	s.Put("hot", []byte("w"))
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watched key event not delivered")
+	}
+	if got := s.WatchWork(); got != base+1 {
+		t.Fatalf("WatchWork = %d, want %d", got, base+1)
+	}
+	cancel()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+func TestInstrumentCounters(t *testing.T) {
+	s := New()
+	reg := telemetry.NewRegistry()
+	s.Instrument(clock.Wall{}, reg)
+	s.Put("k", []byte("a"))
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CAS("k", 0, []byte("b")); !errors.Is(err, ErrCASFailure) {
+		t.Fatalf("CAS stale = %v", err)
+	}
+	if _, err := s.CAS("c", 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("c"); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]int64{
+		"store_puts_total":         1,
+		"store_gets_total":         1,
+		"store_cas_total":          1,
+		"store_cas_failures_total": 1,
+		"store_deletes_total":      1,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if reg.Histogram("store_put_seconds").Snapshot().Count == 0 {
+		t.Error("store_put_seconds recorded no samples")
+	}
+}
+
+func TestShardIndexSpread(t *testing.T) {
+	// Sequentially named keys (the workload's worker/N pattern) must not
+	// collapse onto a few shards.
+	hit := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		hit[shardIndex(fmt.Sprintf("worker/%d", i))] = true
+	}
+	if len(hit) < numShards/2 {
+		t.Fatalf("1000 keys hit only %d/%d shards", len(hit), numShards)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	s.Put("b", nil)
+	s.Put("a", nil)
+	s.Put("c", nil)
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}

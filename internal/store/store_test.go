@@ -214,19 +214,17 @@ func TestWatchSlowConsumerKeepsNewest(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		s.Put("k", []byte{byte(i)})
 	}
-	// Drain; the final event must be visible.
+	// Drain until the final event shows up (delivery is asynchronous); it
+	// must never be conflated away.
 	var last Event
-	for {
+	deadline := time.After(2 * time.Second)
+	for len(last.Value) != 1 || last.Value[0] != 39 {
 		select {
 		case ev := <-ch:
 			last = ev
-			continue
-		default:
+		case <-deadline:
+			t.Fatalf("newest event lost, last = %+v", last)
 		}
-		break
-	}
-	if len(last.Value) != 1 || last.Value[0] != 39 {
-		t.Fatalf("newest event lost, last = %+v", last)
 	}
 }
 

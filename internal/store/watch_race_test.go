@@ -1,0 +1,142 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchStormRace is the satellite coverage for watchers under -race:
+// 1000 concurrent watchers over 100 keys with interleaved Put/Delete
+// traffic and mid-flight cancellations (some deliberately doubled from two
+// goroutines at once). It asserts
+//
+//   - no lost latest: after quiescence, every surviving watcher has seen
+//     the sentinel final write of its key (conflation may eat
+//     intermediate events, never the newest);
+//   - idempotent cancel: concurrent duplicate cancels neither panic nor
+//     strand consumers;
+//   - goroutine hygiene: consumers and the store dispatcher are all gone
+//     once every watch is cancelled.
+func TestWatchStormRace(t *testing.T) {
+	before := runtime.NumGoroutine()
+	defer func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	const (
+		nKeys     = 100
+		nWatchers = 1000
+		nCancel   = 400 // cancelled mid-storm, each from two goroutines
+	)
+	s := New()
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job/%d", i)
+	}
+
+	type watcher struct {
+		key    string
+		cancel func()
+		last   atomic.Int64 // newest version seen
+		done   chan struct{}
+	}
+	watchers := make([]*watcher, nWatchers)
+	for i := range watchers {
+		w := &watcher{key: keys[i%nKeys], done: make(chan struct{})}
+		ch, cancel := s.Watch(w.key)
+		w.cancel = cancel
+		watchers[i] = w
+		go func() {
+			defer close(w.done)
+			for ev := range ch {
+				if ev.Version > w.last.Load() {
+					w.last.Store(ev.Version)
+				}
+			}
+		}()
+	}
+
+	// Mutator storm: Puts with interleaved Deletes (every delete is
+	// followed by a re-Put so the final sentinel write below always
+	// lands on a live key).
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys[rng.Intn(nKeys)]
+				if rng.Intn(8) == 0 {
+					_ = s.Delete(k) // may miss; fine
+				}
+				s.Put(k, []byte{byte(rng.Intn(256))})
+			}
+		}(int64(g) + 1)
+	}
+
+	// Mid-storm cancellations, each fired twice concurrently.
+	var cwg sync.WaitGroup
+	for i := 0; i < nCancel; i++ {
+		w := watchers[i]
+		for dup := 0; dup < 2; dup++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				w.cancel()
+			}()
+		}
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Quiesce: one sentinel write per key, then require every surviving
+	// watcher to observe at least that version.
+	sentinel := make(map[string]int64, nKeys)
+	for _, k := range keys {
+		sentinel[k] = s.Put(k, []byte("final"))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, w := range watchers[nCancel:] {
+		for w.last.Load() < sentinel[w.key] {
+			if time.Now().After(deadline) {
+				t.Fatalf("watcher on %s stuck at version %d, sentinel %d (lost latest)",
+					w.key, w.last.Load(), sentinel[w.key])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Tear down; every consumer loop must terminate.
+	for _, w := range watchers {
+		w.cancel()
+	}
+	for _, w := range watchers {
+		select {
+		case <-w.done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("consumer for %s never exited after cancel", w.key)
+		}
+	}
+}

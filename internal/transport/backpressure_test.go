@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// parkedServer starts a Server whose handlers park on release, tracking the
+// high-water mark of concurrently running handlers.
+func parkedServer(t *testing.T) (addr string, highWater *atomic.Int64, release func()) {
+	t.Helper()
+	relCh := make(chan struct{})
+	releaseOnce := sync.OnceFunc(func() { close(relCh) })
+	var inFlight, hw atomic.Int64
+	srv := NewServer(func(m Message) ([]byte, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := hw.Load()
+			if n <= old || hw.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		<-relCh
+		return []byte("ok"), nil
+	})
+	a, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	t.Cleanup(releaseOnce) // runs before srv.Close (LIFO), unparking handlers
+	return a, &hw, releaseOnce
+}
+
+// TestPooledBackpressureWindow pins the in-flight cap: with the window
+// full of parked calls, the next Call on the connection fails fast with
+// the retryable ErrBackpressure, and completing a call frees a slot.
+func TestPooledBackpressureWindow(t *testing.T) {
+	guardGoroutines(t)
+	addr, highWater, release := parkedServer(t)
+	const window = 3
+	client := NewClient(addr, ClientConfig{Conns: 1, MaxInFlight: window})
+	defer client.Close()
+
+	done := make(chan error, window)
+	for i := 0; i < window; i++ {
+		go func() {
+			_, err := client.Call(context.Background(), "park", nil, 30*time.Second)
+			done <- err
+		}()
+	}
+	// A call registers in the window before its frame reaches the server,
+	// so once the server has all three handlers parked the window is
+	// provably full and the next call must bounce.
+	deadline := time.Now().Add(5 * time.Second)
+	for highWater.Load() < window {
+		if time.Now().After(deadline) {
+			t.Fatalf("window never filled: high water %d", highWater.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := client.Call(context.Background(), "extra", nil, 30*time.Second)
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("extra call = %v, want ErrBackpressure", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("ErrBackpressure not retryable: %v", err)
+	}
+	release()
+	for i := 0; i < window; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("parked call %d: %v", i, err)
+		}
+	}
+	// Window drained: calls flow again.
+	if _, err := client.Call(context.Background(), "after", nil, 30*time.Second); err != nil {
+		t.Fatalf("call after drain: %v", err)
+	}
+}
+
+// TestPooledBackpressureFloodBounded floods a window-1 connection with far
+// more concurrent callers than the window admits: the server must never see
+// more than MaxInFlight concurrent handlers per connection, and every
+// refused call must carry the retryable backpressure identity.
+func TestPooledBackpressureFloodBounded(t *testing.T) {
+	guardGoroutines(t)
+	addr, highWater, release := parkedServer(t)
+	const window = 4
+	client := NewClient(addr, ClientConfig{Conns: 1, MaxInFlight: window})
+	defer client.Close()
+
+	const flood = 64
+	var wg sync.WaitGroup
+	var bounced, admitted atomic.Int64
+	errc := make(chan error, flood)
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := client.Call(context.Background(), "flood", nil, 30*time.Second)
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrBackpressure):
+				if !Retryable(err) {
+					errc <- err
+				}
+				bounced.Add(1)
+			default:
+				errc <- err
+			}
+		}()
+	}
+	// Unpark once the admitted calls have filled the window; the remaining
+	// flood resolves as a mix of admissions (as slots free) and bounces.
+	deadline := time.Now().Add(5 * time.Second)
+	for highWater.Load() < window {
+		if time.Now().After(deadline) {
+			t.Fatalf("window never filled: high water %d", highWater.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("flood call: %v", err)
+	}
+	if hw := highWater.Load(); hw > window {
+		t.Fatalf("server saw %d concurrent handlers, window is %d", hw, window)
+	}
+	if bounced.Load() == 0 {
+		t.Fatal("flood produced no backpressure errors")
+	}
+	if admitted.Load() < window {
+		t.Fatalf("only %d calls admitted", admitted.Load())
+	}
+}
+
+// TestPooledBackpressureCallRetryBacksOff: CallRetry treats a full window
+// as a transient fault — it burns backoff attempts instead of failing, and
+// succeeds once the window drains.
+func TestPooledBackpressureCallRetryBacksOff(t *testing.T) {
+	guardGoroutines(t)
+	addr, highWater, release := parkedServer(t)
+	client := NewClient(addr, ClientConfig{Conns: 1, MaxInFlight: 1})
+	defer client.Close()
+
+	parked := make(chan error, 1)
+	go func() {
+		_, err := client.Call(context.Background(), "park", nil, 30*time.Second)
+		parked <- err
+	}()
+	// Wait for the parked call to occupy the single-slot window, then a
+	// probe must bounce before the retrying call starts.
+	deadline := time.Now().Add(5 * time.Second)
+	for highWater.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("window never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := client.Call(context.Background(), "probe", nil, 30*time.Second); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("probe = %v, want ErrBackpressure", err)
+	}
+	retried := make(chan error, 1)
+	go func() {
+		_, err := client.CallRetry(context.Background(), "retry", nil, 30*time.Second,
+			RetryPolicy{Attempts: 200, Base: time.Millisecond, Max: 5 * time.Millisecond})
+		retried <- err
+	}()
+	select {
+	case err := <-retried:
+		t.Fatalf("CallRetry returned %v while window was full, want backoff", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	if err := <-parked; err != nil {
+		t.Fatalf("parked call: %v", err)
+	}
+	if err := <-retried; err != nil {
+		t.Fatalf("CallRetry after drain: %v", err)
+	}
+}

@@ -27,19 +27,21 @@ import (
 // next call on that slot dials fresh. Client.CallRetry therefore rides out
 // a server restart exactly as the package-level CallRetry does.
 type Client struct {
-	addr    string
-	timeout time.Duration
-	slots   []*connSlot
-	next    atomic.Uint64
+	addr        string
+	timeout     time.Duration
+	maxInFlight int
+	slots       []*connSlot
+	next        atomic.Uint64
 
 	mu       sync.Mutex
 	closed   bool
 	closedCh chan struct{}
 	wg       sync.WaitGroup // connection reader goroutines
 
-	mCalls      *telemetry.Counter
-	mDials      *telemetry.Counter
-	mConnErrors *telemetry.Counter
+	mCalls        *telemetry.Counter
+	mDials        *telemetry.Counter
+	mConnErrors   *telemetry.Counter
+	mBackpressure *telemetry.Counter
 }
 
 // DefaultClientConns is the pool size of an unconfigured Client.
@@ -51,6 +53,13 @@ const DefaultClientConns = 4
 // discarded by the demultiplexer.
 var ErrCallTimeout = errors.New("transport: call timed out")
 
+// ErrBackpressure reports a call refused because its pooled connection
+// already carries ClientConfig.MaxInFlight outstanding requests. The
+// connection is healthy — the caller is simply outrunning the server — so
+// the error is retryable and CallRetry converts it into clock-driven
+// backoff instead of letting an unbounded pending table absorb the flood.
+var ErrBackpressure = errors.New("transport: too many in-flight calls on connection")
+
 // ClientConfig configures a Client. The zero value selects the defaults.
 type ClientConfig struct {
 	// Conns is the number of pooled connections (DefaultClientConns when
@@ -58,9 +67,14 @@ type ClientConfig struct {
 	Conns int
 	// Timeout bounds each call when the Call's own timeout is unset.
 	Timeout time.Duration
+	// MaxInFlight caps the outstanding requests per pooled connection;
+	// a call arriving at a full connection fails fast with the retryable
+	// ErrBackpressure instead of growing the pending table without bound.
+	// 0 (the default) means unlimited.
+	MaxInFlight int
 	// Metrics receives transport_client_calls_total,
-	// transport_client_dials_total and transport_client_conn_errors_total;
-	// nil disables them at zero cost.
+	// transport_client_dials_total, transport_client_conn_errors_total and
+	// transport_client_backpressure_total; nil disables them at zero cost.
 	Metrics *telemetry.Registry
 }
 
@@ -78,6 +92,8 @@ type connSlot struct {
 type clientConn struct {
 	conn net.Conn
 	wmu  sync.Mutex
+
+	maxInFlight int // immutable after dial; 0 = unlimited
 
 	mu        sync.Mutex
 	pending   map[uint64]chan callResult
@@ -105,13 +121,15 @@ func NewClient(addr string, cfg ClientConfig) *Client {
 		slots[i] = &connSlot{}
 	}
 	return &Client{
-		addr:        addr,
-		timeout:     cfg.Timeout,
-		slots:       slots,
-		closedCh:    make(chan struct{}),
-		mCalls:      cfg.Metrics.Counter("transport_client_calls_total"),
-		mDials:      cfg.Metrics.Counter("transport_client_dials_total"),
-		mConnErrors: cfg.Metrics.Counter("transport_client_conn_errors_total"),
+		addr:          addr,
+		timeout:       cfg.Timeout,
+		maxInFlight:   cfg.MaxInFlight,
+		slots:         slots,
+		closedCh:      make(chan struct{}),
+		mCalls:        cfg.Metrics.Counter("transport_client_calls_total"),
+		mDials:        cfg.Metrics.Counter("transport_client_dials_total"),
+		mConnErrors:   cfg.Metrics.Counter("transport_client_conn_errors_total"),
+		mBackpressure: cfg.Metrics.Counter("transport_client_backpressure_total"),
 	}
 }
 
@@ -160,7 +178,7 @@ func (c *Client) grab(ctx context.Context, slot *connSlot, timeout time.Duration
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
-	cc := &clientConn{conn: conn, pending: make(map[uint64]chan callResult)}
+	cc := &clientConn{conn: conn, pending: make(map[uint64]chan callResult), maxInFlight: c.maxInFlight}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -253,12 +271,16 @@ func (cc *clientConn) fail(err error) {
 	}
 }
 
-// register allocates a request ID and a result channel on the connection.
+// register allocates a request ID and a result channel on the connection,
+// refusing with ErrBackpressure when the in-flight window is full.
 func (cc *clientConn) register() (uint64, chan callResult, error) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.broken {
 		return 0, nil, cc.brokenErr
+	}
+	if cc.maxInFlight > 0 && len(cc.pending) >= cc.maxInFlight {
+		return 0, nil, fmt.Errorf("%w (window %d)", ErrBackpressure, cc.maxInFlight)
 	}
 	cc.nextID++
 	ch := make(chan callResult, 1)
@@ -299,6 +321,9 @@ func (c *Client) Call(ctx context.Context, kind string, payload []byte, timeout 
 	}
 	id, ch, err := cc.register()
 	if err != nil {
+		if errors.Is(err, ErrBackpressure) {
+			c.mBackpressure.Inc()
+		}
 		return nil, err
 	}
 	reqp := getFrameBuf()

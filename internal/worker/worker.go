@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/elan-sys/elan/internal/checkpoint"
 	"github.com/elan-sys/elan/internal/clock"
 	"github.com/elan-sys/elan/internal/collective"
 	"github.com/elan-sys/elan/internal/coord"
@@ -287,6 +288,16 @@ type FleetConfig struct {
 	// Injecting one lets tests (and the chaos harness) inspect the
 	// persisted state and drive CAS-fenced AM recovery.
 	Store *store.Store
+	// Checkpoints, when non-nil, is the delta checkpoint store the fleet
+	// saves training state into (SaveCheckpoint) and recovers from after
+	// a crash (RestoreCheckpoint). The fleet keeps the last committed
+	// state vector warm in memory, so a restore after an AM crash replays
+	// only the chunks that changed since — O(delta), not O(model). Nil
+	// disables checkpointing.
+	Checkpoints *checkpoint.DeltaStore
+	// CheckpointName is the manifest-chain name used in Checkpoints;
+	// empty defaults to "fleet".
+	CheckpointName string
 	// Clock is the time source for liveness monitoring; nil selects the
 	// wall clock. When the fleet creates its own bus the bus shares this
 	// clock.
@@ -371,6 +382,13 @@ type Fleet struct {
 	deadMu sync.Mutex
 	dead   map[string]bool
 
+	// Delta checkpointing: ckptState is the state vector exactly as
+	// committed at manifest ckptSeq — the warm base a post-crash restore
+	// applies the manifest-chain tail onto.
+	ckptName  string
+	ckptState []float64
+	ckptSeq   int64
+
 	// Telemetry. lifeSpan covers Start..Close; the instruments are nil-safe
 	// so an uninstrumented fleet's step path is allocation-free.
 	tr             telemetry.Tracer
@@ -423,6 +441,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Store == nil {
 		cfg.Store = store.New()
 	}
+	if cfg.CheckpointName == "" {
+		cfg.CheckpointName = "fleet"
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	am, err := coord.NewAM("fleet", cfg.Store)
 	if err != nil {
@@ -466,6 +487,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		sched:          sched,
 		spawned:        make(map[string]*Agent),
 		lr:             cfg.LR,
+		ckptName:       cfg.CheckpointName,
 		ctx:            ctx,
 		cancel:         cancel,
 		ownsBus:        ownsBus,
